@@ -1,0 +1,61 @@
+// Command answer computes certain answers to a conjunctive query over an
+// ontology (rules + data), via rewriting, the chase, or automatically per
+// the classification.
+//
+// Usage:
+//
+//	answer -rules testdata/family.rules -data testdata/family.data \
+//	       -query 'q(X,Y) :- ancestor(X,Y) .' [-mode auto|rewrite|chase]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	repro "repro"
+)
+
+func main() {
+	rulesPath := flag.String("rules", "", "path to a .rules file")
+	dataPath := flag.String("data", "", "path to a .data file")
+	querySrc := flag.String("query", "", "conjunctive query")
+	mode := flag.String("mode", "auto", "auto | rewrite | chase")
+	flag.Parse()
+	if *rulesPath == "" || *querySrc == "" {
+		fmt.Fprintln(os.Stderr, "usage: answer -rules FILE [-data FILE] -query 'q(X) :- ... .' [-mode M]")
+		os.Exit(2)
+	}
+	var ont *repro.Ontology
+	var err error
+	if *dataPath != "" {
+		ont, err = repro.ParseFiles(*rulesPath, *dataPath)
+	} else {
+		ont, err = repro.ParseFiles(*rulesPath)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var m repro.AnswerMode
+	switch *mode {
+	case "auto":
+		m = repro.ModeAuto
+	case "rewrite":
+		m = repro.ModeRewrite
+	case "chase":
+		m = repro.ModeChase
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	ans, err := ont.AnswerMode(*querySrc, m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(ans)
+	fmt.Fprintf(os.Stderr, "%d answers\n", ans.Len())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

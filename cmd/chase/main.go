@@ -1,0 +1,67 @@
+// Command chase materializes a database with a TGD file using the
+// restricted (or oblivious) chase and prints the expanded instance.
+//
+// Usage:
+//
+//	chase -rules testdata/family.rules -data testdata/family.data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chase"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+func main() {
+	rulesPath := flag.String("rules", "", "path to a .rules file of TGDs")
+	dataPath := flag.String("data", "", "path to a .data file of facts")
+	oblivious := flag.Bool("oblivious", false, "use the semi-oblivious chase")
+	maxSteps := flag.Int("max-steps", 0, "step budget (0 = default)")
+	flag.Parse()
+	if *rulesPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: chase -rules FILE [-data FILE] [-oblivious]")
+		os.Exit(2)
+	}
+	prog, err := parser.ParseFile(*rulesPath)
+	if err != nil {
+		fatal(err)
+	}
+	set, err := prog.RuleSet()
+	if err != nil {
+		fatal(err)
+	}
+	data := storage.NewInstance()
+	for _, f := range prog.Facts {
+		if err := data.InsertAtom(f); err != nil {
+			fatal(err)
+		}
+	}
+	if *dataPath != "" {
+		facts, err := parser.ParseFile(*dataPath)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range facts.Facts {
+			if err := data.InsertAtom(f); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	opts := chase.Options{MaxSteps: *maxSteps}
+	if *oblivious {
+		opts.Variant = chase.Oblivious
+	}
+	res := chase.Run(set, data, opts)
+	fmt.Println(res.Instance)
+	fmt.Fprintf(os.Stderr, "%s chase: terminated=%v steps=%d rounds=%d nulls=%d facts=%d\n",
+		opts.Variant, res.Terminated, res.Steps, res.Rounds, res.NullsCreated, res.Instance.Size())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

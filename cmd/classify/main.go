@@ -1,0 +1,40 @@
+// Command classify reports which TGD classes a rule file belongs to —
+// the paper's full landscape (simple, Linear, Multilinear, Sticky,
+// Sticky-Join, Guarded, Domain-Restricted, Weakly-Acyclic, Acyclic-GRD,
+// SWR, WR) — and the recommended query-answering strategy.
+//
+// Usage:
+//
+//	classify -rules testdata/example3.rules
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+func main() {
+	rulesPath := flag.String("rules", "", "path to a .rules file of TGDs")
+	flag.Parse()
+	if *rulesPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: classify -rules FILE")
+		os.Exit(2)
+	}
+	prog, err := parser.ParseFile(*rulesPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	set, err := prog.RuleSet()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d rules from %s\n\n", set.Len(), *rulesPath)
+	rep := core.Classify(set)
+	fmt.Print(rep)
+}

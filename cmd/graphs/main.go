@@ -1,0 +1,68 @@
+// Command graphs emits Graphviz DOT for the paper's graph constructions
+// over a rule file: the position graph (Figures 1 and 2), the P-node graph
+// (Figure 3), or the graph of rule dependencies.
+//
+// Usage:
+//
+//	graphs -rules testdata/example1.rules -graph position   > fig1.dot
+//	graphs -rules testdata/example2.rules -graph pnode      > fig3.dot
+//	graphs -rules testdata/example3.rules -graph grd        > grd.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dot"
+	"repro/internal/grd"
+	"repro/internal/parser"
+	"repro/internal/pnode"
+	"repro/internal/posgraph"
+)
+
+func main() {
+	rulesPath := flag.String("rules", "", "path to a .rules file")
+	graph := flag.String("graph", "position", "position | pnode | grd")
+	flag.Parse()
+	if *rulesPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: graphs -rules FILE -graph position|pnode|grd")
+		os.Exit(2)
+	}
+	prog, err := parser.ParseFile(*rulesPath)
+	if err != nil {
+		fatal(err)
+	}
+	set, err := prog.RuleSet()
+	if err != nil {
+		fatal(err)
+	}
+	switch *graph {
+	case "position":
+		g := posgraph.Build(set)
+		fmt.Print(dot.PositionGraph(g, "positiongraph"))
+		if dc := g.DangerousCycles(); len(dc) > 0 {
+			fmt.Fprintf(os.Stderr, "dangerous: %v\n", dc[0])
+		}
+	case "pnode":
+		g := pnode.Build(set, pnode.Options{})
+		fmt.Print(dot.PNodeGraph(g, "pnodegraph"))
+		if dc := g.DangerousCycles(); len(dc) > 0 {
+			fmt.Fprintf(os.Stderr, "dangerous: %v\n", dc[0])
+		}
+	case "grd":
+		g := grd.Build(set)
+		labels := make([]string, set.Len())
+		for i, r := range set.Rules {
+			labels[i] = r.Label
+		}
+		fmt.Print(dot.RuleDependencies(g, labels, "grd"))
+	default:
+		fatal(fmt.Errorf("unknown graph kind %q", *graph))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command rewrite compiles a conjunctive query over a TGD file into its
+// first-order rewriting, printed as a union of conjunctive queries or as
+// SQL.
+//
+// Usage:
+//
+//	rewrite -rules testdata/example1.rules -query 'ans(X,Y) :- r(X,Y) .'
+//	rewrite -rules testdata/example1.rules -query '...' -sql
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/rewrite"
+	"repro/internal/sqlgen"
+)
+
+func main() {
+	rulesPath := flag.String("rules", "", "path to a .rules file of TGDs")
+	querySrc := flag.String("query", "", "conjunctive query, e.g. 'q(X) :- r(X,Y) .'")
+	sql := flag.Bool("sql", false, "print the rewriting as SQL")
+	trace := flag.Bool("trace", false, "print the rule derivation path of each disjunct")
+	maxCQs := flag.Int("max-cqs", 0, "budget on generated CQs (0 = default)")
+	flag.Parse()
+	if *rulesPath == "" || *querySrc == "" {
+		fmt.Fprintln(os.Stderr, "usage: rewrite -rules FILE -query 'q(X) :- ... .' [-sql]")
+		os.Exit(2)
+	}
+	prog, err := parser.ParseFile(*rulesPath)
+	if err != nil {
+		fatal(err)
+	}
+	set, err := prog.RuleSet()
+	if err != nil {
+		fatal(err)
+	}
+	pq, err := parser.ParseQuery(*querySrc)
+	if err != nil {
+		fatal(err)
+	}
+	q, err := query.New(pq.Head, pq.Body)
+	if err != nil {
+		fatal(err)
+	}
+	opts := rewrite.DefaultOptions()
+	opts.MaxCQs = *maxCQs
+	res := rewrite.Rewrite(q, set, opts)
+	if !res.Complete {
+		fmt.Fprintf(os.Stderr, "warning: rewriting incomplete after %d CQs (not FO-rewritable or budget too small)\n", res.Generated)
+	}
+	switch {
+	case *sql:
+		s, err := sqlgen.UCQ(res.UCQ, sqlgen.Options{Distinct: true, Pretty: true})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(s)
+	case *trace:
+		for i, cq := range res.UCQ.CQs {
+			path := "input"
+			if len(res.Paths[i]) > 0 {
+				path = strings.Join(res.Paths[i], " , ")
+			}
+			fmt.Printf("%s   %% via %s\n", cq, path)
+		}
+	default:
+		fmt.Println(res.UCQ)
+	}
+	fmt.Fprintf(os.Stderr, "%d disjuncts, %d generated, depth %d\n",
+		res.Kept, res.Generated, res.MaxDepthSeen)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

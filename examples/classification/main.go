@@ -1,0 +1,57 @@
+// Classification survey: runs the paper's three worked examples and a batch
+// of generated rule-set families through every classifier, reproducing the
+// class-landscape narrative of the paper (SWR subsumes the simple baseline
+// classes; WR additionally captures Example 3; Example 2 defeats everything).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/parser"
+	"repro/internal/posgraph"
+)
+
+var examples = []struct{ name, src string }{
+	{"Example 1 (Figure 1, SWR)", `
+s(Y1,Y2,Y3), t(Y4) -> r(Y1,Y3) .
+v(Y1,Y2), q(Y2) -> s(Y1,Y3,Y2) .
+r(Y1,Y2) -> v(Y1,Y2) .
+`},
+	{"Example 2 (Figures 2-3, not FO-rewritable)", `
+t(Y1,Y2), r(Y3,Y4) -> s(Y1,Y3,Y2) .
+s(Y1,Y1,Y2) -> r(Y2,Y3) .
+`},
+	{"Example 3 (WR only)", `
+r(Y1,Y2) -> t(Y3,Y1,Y1) .
+s(Y1,Y2,Y3) -> r(Y1,Y2) .
+u(Y1), t(Y1,Y1,Y2) -> s(Y1,Y1,Y2) .
+`},
+}
+
+func main() {
+	for _, ex := range examples {
+		set := parser.MustParseRules(ex.src)
+		fmt.Printf("== %s ==\n", ex.name)
+		fmt.Print(core.Classify(set))
+		fmt.Println()
+	}
+
+	// Subsumption sweep: generated simple sets from the baseline families
+	// are all accepted by SWR (paper §5).
+	fmt.Println("== subsumption sweep over generated families ==")
+	for _, fam := range []datagen.Family{
+		datagen.FamilyLinear, datagen.FamilyMultilinear, datagen.FamilySticky,
+	} {
+		total, swr := 0, 0
+		for seed := int64(0); seed < 50; seed++ {
+			set := datagen.Rules(datagen.Config{Family: fam, Rules: 5, Seed: seed})
+			total++
+			if posgraph.Check(set).SWR {
+				swr++
+			}
+		}
+		fmt.Printf("  %-12s %d/%d generated sets accepted by SWR\n", fam, swr, total)
+	}
+}

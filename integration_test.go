@@ -1,0 +1,177 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/eval"
+	"repro/internal/fol"
+	"repro/internal/query"
+)
+
+// TestFullPipelineUniversity drives the complete system on the LUBM-style
+// workload: classification, rewriting, SQL generation, FO reading, chase,
+// and three-way answer agreement on several query shapes.
+func TestFullPipelineUniversity(t *testing.T) {
+	rules := datagen.University()
+	data := datagen.UniversityData(2, 5)
+	ont := &Ontology{rules: rules, data: data}
+
+	rep := ont.Classify()
+	if !rep.FORewritable || !rep.Is("wr") {
+		t.Fatalf("university must be FO-rewritable via WR:\n%s", rep)
+	}
+
+	queries := []string{
+		`q(X) :- person(X) .`,
+		`q(X) :- employee(X) .`,
+		`q(X,Y) :- taughtBy(X,Y) .`,
+		`q(X) :- worksFor(X,D) .`,
+		`q() :- university(U) .`,
+	}
+	for _, src := range queries {
+		rw, err := ont.Rewrite(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !rw.Complete {
+			t.Fatalf("%s: rewriting incomplete", src)
+		}
+
+		// Path 1: rewriting + join evaluation.
+		ansRewrite, err := ont.AnswerMode(src, ModeRewrite)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		// Path 2: chase + evaluation.
+		ansChase, err := ont.AnswerMode(src, ModeChase)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !ansRewrite.Equal(ansChase) {
+			t.Errorf("%s: rewrite/chase disagree:\n%v\nvs\n%v", src, ansRewrite, ansChase)
+		}
+		// Path 3: FO model checking of the rewriting.
+		f, answer, err := rw.FO()
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		folTuples := fol.Eval(f, answer, data, true)
+		if len(folTuples) != ansRewrite.Len() {
+			t.Errorf("%s: FO eval %d vs engine %d", src, len(folTuples), ansRewrite.Len())
+		}
+		// SQL generation must succeed and mention every predicate used.
+		sql, err := rw.SQL()
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !strings.Contains(sql, "SELECT DISTINCT") {
+			t.Errorf("%s: SQL looks wrong:\n%s", src, sql)
+		}
+	}
+}
+
+// TestFullPipelineDLLiteCSV: DL-Lite TBox + CSV-loaded data + rewriting.
+func TestFullPipelineDLLiteCSV(t *testing.T) {
+	ont, err := FromDLLite(`
+Employee <= Person
+Manager <= Employee
+Manager <= exists manages
+exists manages- <= Team
+`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ont.LoadCSV("employee", strings.NewReader("ann\nbob\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ont.LoadCSV("manager", strings.NewReader("kim\n")); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := ont.Answer(`q(X) :- person(X) .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 3 {
+		t.Errorf("persons = %v, want ann, bob, kim", ans)
+	}
+	// kim manages some team (existential), so the boolean query holds.
+	team, err := ont.Answer(`q() :- manages(kim, T), team(T) .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if team.Len() != 1 {
+		t.Error("kim certainly manages some team")
+	}
+}
+
+// TestRewritingIsDataIndependent: the compiled UCQ is identical across
+// databases — the essence of FO-rewritability (compile once, run anywhere).
+func TestRewritingIsDataIndependent(t *testing.T) {
+	rules := datagen.University()
+	ont1 := &Ontology{rules: rules, data: datagen.UniversityData(1, 1)}
+	ont2 := &Ontology{rules: rules, data: datagen.UniversityData(5, 99)}
+	rw1, err := ont1.Rewrite(`q(X) :- faculty(X) .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw2, err := ont2.Rewrite(`q(X) :- faculty(X) .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw1.UCQ.String() != rw2.UCQ.String() {
+		t.Error("rewriting must not depend on the data")
+	}
+	// And evaluating rw1's UCQ on ont2's data equals ont2's own answers.
+	ans := eval.UCQ(rw1.UCQ, ont2.Data(), eval.Options{FilterNulls: true})
+	own, err := ont2.AnswerMode(`q(X) :- faculty(X) .`, ModeChase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Equal(own) {
+		t.Errorf("cross-database evaluation disagrees: %v vs %v", ans, own)
+	}
+}
+
+// TestBooleanQueryAcrossModes: arity-0 queries behave identically in every
+// mode, including over empty data.
+func TestBooleanQueryAcrossModes(t *testing.T) {
+	ont := MustParse(`
+cat(X) -> animal(X) .
+cat(tom) .
+`)
+	for _, mode := range []AnswerMode{ModeAuto, ModeRewrite, ModeChase} {
+		ans, err := ont.AnswerMode(`q() :- animal(X) .`, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Len() != 1 {
+			t.Errorf("mode %d: boolean query must hold", mode)
+		}
+	}
+	empty := MustParse(`cat(X) -> animal(X) .`)
+	ans, err := empty.Answer(`q() :- animal(X) .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 0 {
+		t.Error("no data, no answer")
+	}
+}
+
+// TestUCQAnswerViaMultipleClauses: a UCQ posed as several disjuncts through
+// the query package evaluates as their union.
+func TestUCQAnswerViaMultipleClauses(t *testing.T) {
+	ont := MustParse(`
+dog(rex) .
+cat(tom) .
+`)
+	q1, _ := ParseQuery(`q(X) :- dog(X) .`)
+	q2, _ := ParseQuery(`q(X) :- cat(X) .`)
+	u := query.MustNewUCQ(q1, q2)
+	ans := eval.UCQ(u, ont.Data(), eval.Options{})
+	if ans.Len() != 2 {
+		t.Errorf("union = %v", ans)
+	}
+}

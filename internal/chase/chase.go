@@ -1,0 +1,179 @@
+// Package chase implements the chase procedure for TGDs over database
+// instances: the materialization-based expansion technique for
+// certain-answer query answering. Both the oblivious chase (fire every
+// trigger once) and the restricted chase (fire a trigger only when its head
+// is not already satisfied) are provided, with labelled-null invention for
+// existential head variables, round-based fair scheduling, and step/round
+// budgets so non-terminating rule sets are handled gracefully.
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/dependency"
+	"repro/internal/eval"
+	"repro/internal/logic"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Variant selects the chase flavour.
+type Variant int
+
+const (
+	// Restricted (standard) chase: a trigger fires only if the head cannot
+	// already be satisfied by extending the trigger homomorphism. Terminates
+	// strictly more often than the oblivious chase.
+	Restricted Variant = iota
+	// Oblivious (semi-oblivious) chase: every rule fires at most once per
+	// frontier binding regardless of head satisfaction. Simpler, but
+	// invents more nulls than the restricted chase.
+	Oblivious
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == Oblivious {
+		return "oblivious"
+	}
+	return "restricted"
+}
+
+// Options configures a chase run.
+type Options struct {
+	Variant Variant
+	// MaxSteps bounds the number of trigger firings (0 = default 100000).
+	MaxSteps int
+	// MaxRounds bounds the number of fair rounds (0 = default 1000).
+	MaxRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 100000
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 1000
+	}
+	return o
+}
+
+// Result is the outcome of a chase run.
+type Result struct {
+	// Instance is the (possibly truncated) chase of the input.
+	Instance *storage.Instance
+	// Terminated reports whether a fixpoint was reached within budget.
+	// When false the instance is a sound but incomplete approximation.
+	Terminated bool
+	// Steps is the number of trigger firings performed.
+	Steps int
+	// Rounds is the number of fair rounds performed.
+	Rounds int
+	// NullsCreated counts invented labelled nulls.
+	NullsCreated int
+}
+
+// Run chases data with rules. The input instance is not modified.
+func Run(rules *dependency.Set, data *storage.Instance, opts Options) *Result {
+	opts = opts.withDefaults()
+	ins := data.Clone()
+	gen := logic.NewVarGen("n")
+	res := &Result{Instance: ins}
+
+	// fired remembers oblivious-chase triggers (rule + frontier binding) so
+	// each fires at most once.
+	fired := make(map[string]bool)
+
+	for res.Rounds < opts.MaxRounds {
+		res.Rounds++
+		progressed := false
+		for _, rule := range rules.Rules {
+			// Collect triggers first: mutating while matching would make
+			// fairness and termination detection unreliable.
+			type trigger struct{ frontier logic.Subst }
+			var triggers []trigger
+			frontierVars := rule.Distinguished()
+			bodyVars := rule.BodyVars()
+			eval.Matches(rule.Body, ins, func(s logic.Subst) bool {
+				triggers = append(triggers, trigger{frontier: s.Restrict(bodyVars)})
+				return true
+			})
+			for _, tr := range triggers {
+				if res.Steps >= opts.MaxSteps {
+					return res
+				}
+				if opts.Variant == Oblivious {
+					key := triggerKey(rule, tr.frontier, frontierVars)
+					if fired[key] {
+						continue
+					}
+					fired[key] = true
+				} else if headSatisfied(rule, tr.frontier, ins) {
+					continue
+				}
+				res.Steps++
+				// Instantiate head: frontier variables from the trigger,
+				// existential head variables as fresh nulls.
+				inst := tr.frontier.Clone()
+				for _, e := range rule.ExistentialHead() {
+					inst.Bind(e, gen.FreshNull())
+					res.NullsCreated++
+				}
+				for _, h := range rule.Head {
+					added, err := ins.Insert(inst.ApplyAtom(h))
+					if err != nil {
+						// Arity conflicts are caught at rule-set validation;
+						// reaching here is a programming error.
+						panic(err)
+					}
+					if added {
+						progressed = true
+					}
+				}
+			}
+		}
+		if !progressed {
+			res.Terminated = true
+			return res
+		}
+	}
+	return res
+}
+
+// headSatisfied reports whether the rule head, with frontier variables bound
+// per the trigger, already holds in the instance (the restricted-chase
+// applicability test). Existential head variables may map to anything.
+func headSatisfied(rule *dependency.TGD, frontier logic.Subst, ins *storage.Instance) bool {
+	head := frontier.ApplyAtoms(rule.Head)
+	found := false
+	eval.Matches(head, ins, func(logic.Subst) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+func triggerKey(rule *dependency.TGD, frontier logic.Subst, vars []logic.Term) string {
+	key := rule.Label + "\x00"
+	for _, v := range vars {
+		t := frontier.Walk(v)
+		key += fmt.Sprintf("%d%s\x00", t.Kind, t.Name)
+	}
+	return key
+}
+
+// CertainAnswers evaluates a UCQ over the chase of (rules, data) and keeps
+// only null-free tuples. When the chase terminated, the result is exactly
+// cert(q, P, D); when truncated, it is a sound under-approximation
+// (every reported tuple is a certain answer, but some may be missing).
+func CertainAnswers(u *query.UCQ, rules *dependency.Set, data *storage.Instance, opts Options) (*eval.Answers, *Result) {
+	res := Run(rules, data, opts)
+	ans := eval.UCQ(u, res.Instance, eval.Options{FilterNulls: true})
+	return ans, res
+}
+
+// Entails reports whether the boolean CQ q is certain over (rules, data).
+func Entails(q *query.CQ, rules *dependency.Set, data *storage.Instance, opts Options) (bool, *Result) {
+	res := Run(rules, data, opts)
+	return eval.Holds(q, res.Instance, eval.Options{FilterNulls: true}), res
+}

@@ -1,0 +1,231 @@
+package chase
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+func c(n string) logic.Term { return logic.NewConst(n) }
+func at(p string, args ...logic.Term) logic.Atom {
+	return logic.NewAtom(p, args...)
+}
+
+func data(atoms ...logic.Atom) *storage.Instance {
+	return storage.MustFromAtoms(atoms)
+}
+
+func TestChaseTransitiveClosure(t *testing.T) {
+	rules := parser.MustParseRules(`e(X,Y), e(Y,Z) -> e(X,Z) .`)
+	d := data(at("e", c("1"), c("2")), at("e", c("2"), c("3")), at("e", c("3"), c("4")))
+	res := Run(rules, d, Options{})
+	if !res.Terminated {
+		t.Fatal("transitive closure chase must terminate")
+	}
+	want := [][2]string{{"1", "3"}, {"1", "4"}, {"2", "4"}}
+	for _, w := range want {
+		if !res.Instance.ContainsAtom(at("e", c(w[0]), c(w[1]))) {
+			t.Errorf("missing derived fact e(%s,%s)", w[0], w[1])
+		}
+	}
+	if res.Instance.Relation("e").Len() != 6 {
+		t.Errorf("closure size = %d, want 6", res.Instance.Relation("e").Len())
+	}
+	if res.NullsCreated != 0 {
+		t.Errorf("full TGD without existentials created %d nulls", res.NullsCreated)
+	}
+}
+
+func TestChaseInventsNulls(t *testing.T) {
+	rules := parser.MustParseRules(`person(X) -> hasParent(X,Y) .`)
+	d := data(at("person", c("alice")))
+	res := Run(rules, d, Options{})
+	if !res.Terminated {
+		t.Fatal("must terminate")
+	}
+	rel := res.Instance.Relation("hasParent")
+	if rel == nil || rel.Len() != 1 {
+		t.Fatalf("hasParent = %v", rel)
+	}
+	tuple := rel.Tuples()[0]
+	if tuple[0] != c("alice") || !tuple[1].IsNull() {
+		t.Errorf("tuple = %v, want (alice, null)", tuple)
+	}
+	if res.NullsCreated != 1 {
+		t.Errorf("NullsCreated = %d", res.NullsCreated)
+	}
+}
+
+func TestRestrictedChaseDoesNotRefire(t *testing.T) {
+	// hasParent(X,Y) exists already: restricted chase must not invent
+	// another parent for alice.
+	rules := parser.MustParseRules(`person(X) -> hasParent(X,Y) .`)
+	d := data(at("person", c("alice")), at("hasParent", c("alice"), c("bob")))
+	res := Run(rules, d, Options{Variant: Restricted})
+	if res.Steps != 0 {
+		t.Errorf("restricted chase fired %d steps, want 0", res.Steps)
+	}
+	if res.Instance.Size() != 2 {
+		t.Errorf("instance grew: %v", res.Instance)
+	}
+}
+
+func TestObliviousChaseFiresAnyway(t *testing.T) {
+	rules := parser.MustParseRules(`person(X) -> hasParent(X,Y) .`)
+	d := data(at("person", c("alice")), at("hasParent", c("alice"), c("bob")))
+	res := Run(rules, d, Options{Variant: Oblivious})
+	if res.Steps != 1 {
+		t.Errorf("oblivious chase fired %d steps, want 1", res.Steps)
+	}
+	if res.Instance.Relation("hasParent").Len() != 2 {
+		t.Errorf("oblivious chase must add the null parent")
+	}
+}
+
+func TestObliviousChaseFiresOncePerFrontier(t *testing.T) {
+	rules := parser.MustParseRules(`person(X) -> hasParent(X,Y) .`)
+	d := data(at("person", c("alice")))
+	res := Run(rules, d, Options{Variant: Oblivious, MaxRounds: 50})
+	if !res.Terminated {
+		t.Fatal("semi-oblivious run must reach a fixpoint here")
+	}
+	if res.Steps != 1 {
+		t.Errorf("trigger must fire once, fired %d", res.Steps)
+	}
+}
+
+func TestChaseMultiHeadSharesNull(t *testing.T) {
+	// The same existential Y must appear in both head atoms.
+	rules := parser.MustParseRules(`emp(X) -> worksFor(X,Y), dept(Y) .`)
+	d := data(at("emp", c("e1")))
+	res := Run(rules, d, Options{})
+	wf := res.Instance.Relation("worksFor").Tuples()[0]
+	dp := res.Instance.Relation("dept").Tuples()[0]
+	if !wf[1].IsNull() || wf[1] != dp[0] {
+		t.Errorf("null must be shared across head atoms: %v vs %v", wf, dp)
+	}
+}
+
+func TestChaseNonTerminatingTruncates(t *testing.T) {
+	// Classic diverging rule under the restricted chase.
+	rules := parser.MustParseRules(`r(X,Y) -> r(Y,Z) .`)
+	d := data(at("r", c("a"), c("b")))
+	res := Run(rules, d, Options{MaxRounds: 10})
+	if res.Terminated {
+		// With restricted chase this CAN terminate: r(Y,Z) is satisfied by
+		// later facts... verify it stopped within budget either way.
+		t.Logf("restricted chase terminated after %d rounds", res.Rounds)
+	}
+	if res.Rounds > 10 {
+		t.Errorf("rounds budget exceeded: %d", res.Rounds)
+	}
+}
+
+func TestChaseExample2Terminates(t *testing.T) {
+	// Paper Example 2: the set is not FO-rewritable (the rewriting builds an
+	// unbounded chain), yet it is weakly acyclic, so its chase terminates on
+	// every instance — a nice illustration that chase termination and
+	// FO-rewritability are orthogonal.
+	rules := parser.MustParseRules(`
+t(Y1,Y2), r(Y3,Y4) -> s(Y1,Y3,Y2) .
+s(Y1,Y1,Y2) -> r(Y2,Y3) .
+`)
+	d := data(at("t", c("a"), c("a")), at("r", c("a"), c("b")))
+	res := Run(rules, d, Options{Variant: Oblivious, MaxRounds: 100, MaxSteps: 10000})
+	if !res.Terminated {
+		t.Errorf("Example 2 chase must terminate (weakly acyclic); steps=%d rounds=%d",
+			res.Steps, res.Rounds)
+	}
+	if !res.Instance.ContainsAtom(at("s", c("a"), c("a"), c("a"))) {
+		t.Error("chase must derive s(a,a,a)")
+	}
+	rel := res.Instance.Relation("r")
+	if rel == nil || rel.Len() != 2 {
+		t.Errorf("chase must derive one new r fact, have %v", rel.Tuples())
+	}
+}
+
+func TestChaseStepBudget(t *testing.T) {
+	rules := parser.MustParseRules(`p(X) -> q(X,Y) . q(X,Y) -> p(Y) .`)
+	d := data(at("p", c("a")))
+	res := Run(rules, d, Options{MaxSteps: 5})
+	if res.Steps > 5 {
+		t.Errorf("step budget exceeded: %d", res.Steps)
+	}
+	if res.Terminated {
+		t.Error("budget-truncated run must not report termination")
+	}
+}
+
+func TestChaseInputNotMutated(t *testing.T) {
+	rules := parser.MustParseRules(`p(X) -> q(X) .`)
+	d := data(at("p", c("a")))
+	Run(rules, d, Options{})
+	if d.Relation("q") != nil {
+		t.Error("chase must not mutate its input instance")
+	}
+}
+
+func TestCertainAnswersFilterNulls(t *testing.T) {
+	rules := parser.MustParseRules(`person(X) -> hasParent(X,Y) .`)
+	d := data(at("person", c("alice")))
+	u := query.MustNewUCQ(query.MustNew(
+		at("q", logic.NewVar("X"), logic.NewVar("Y")),
+		[]logic.Atom{at("hasParent", logic.NewVar("X"), logic.NewVar("Y"))}))
+	ans, res := CertainAnswers(u, rules, d, Options{})
+	if !res.Terminated {
+		t.Fatal("chase must terminate")
+	}
+	if ans.Len() != 0 {
+		t.Errorf("null-containing tuples are not certain answers: %v", ans)
+	}
+	// But the boolean projection IS certain.
+	b := query.MustNew(at("q", logic.NewVar("X")),
+		[]logic.Atom{at("hasParent", logic.NewVar("X"), logic.NewVar("Y"))})
+	ans2, _ := CertainAnswers(query.MustNewUCQ(b), rules, d, Options{})
+	if ans2.Len() != 1 {
+		t.Errorf("alice has some parent: %v", ans2)
+	}
+}
+
+func TestEntails(t *testing.T) {
+	rules := parser.MustParseRules(`cat(X) -> animal(X) .`)
+	d := data(at("cat", c("tom")))
+	q := query.MustNew(at("q"), []logic.Atom{at("animal", c("tom"))})
+	ok, res := Entails(q, rules, d, Options{})
+	if !ok || !res.Terminated {
+		t.Error("cat(tom) entails animal(tom)")
+	}
+	q2 := query.MustNew(at("q"), []logic.Atom{at("animal", c("rex"))})
+	if ok, _ := Entails(q2, rules, d, Options{}); ok {
+		t.Error("animal(rex) is not entailed")
+	}
+}
+
+func TestChaseHierarchy(t *testing.T) {
+	// A DL-Lite style class hierarchy chases in one round per level.
+	rules := parser.MustParseRules(`
+student(X) -> person(X) .
+person(X) -> agent(X) .
+agent(X) -> thing(X) .
+`)
+	d := data(at("student", c("s1")))
+	res := Run(rules, d, Options{})
+	if !res.Terminated {
+		t.Fatal("hierarchy chase must terminate")
+	}
+	for _, p := range []string{"person", "agent", "thing"} {
+		if !res.Instance.ContainsAtom(at(p, c("s1"))) {
+			t.Errorf("missing %s(s1)", p)
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Restricted.String() != "restricted" || Oblivious.String() != "oblivious" {
+		t.Error("Variant.String wrong")
+	}
+}

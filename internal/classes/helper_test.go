@@ -1,0 +1,6 @@
+package classes
+
+import "repro/internal/logic"
+
+// vterm builds a variable term for tests.
+func vterm(n string) logic.Term { return logic.NewVar(n) }

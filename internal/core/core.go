@@ -1,0 +1,101 @@
+// Package core ties the paper's contribution together: given a set of TGDs
+// it builds the position graph and the P-node graph, runs the SWR and WR
+// tests alongside every competitor classifier, and reports whether — and by
+// which sufficient condition — query answering over the set is first-order
+// rewritable. This is the decision layer an OBDA system consults before
+// choosing between query rewriting and chase-based materialization.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/classes"
+	"repro/internal/dependency"
+	"repro/internal/pnode"
+	"repro/internal/posgraph"
+)
+
+// Report is the full classification of a rule set.
+type Report struct {
+	// Verdicts holds every classifier's outcome in presentation order.
+	Verdicts []classes.Verdict
+	// FORewritable reports whether any implemented sufficient condition
+	// certifies FO-rewritability.
+	FORewritable bool
+	// CertifiedBy lists the certifying classes (empty when !FORewritable).
+	CertifiedBy []string
+	// PositionGraph is the constructed position graph (paper Definition 4).
+	PositionGraph *posgraph.Graph
+	// PNodeGraph is the constructed P-node graph (paper §6).
+	PNodeGraph *pnode.Graph
+	// ChaseTerminates reports whether the chase is guaranteed to terminate
+	// (weak acyclicity), independent of FO-rewritability.
+	ChaseTerminates bool
+}
+
+// Classify runs every analysis on the rule set.
+func Classify(set *dependency.Set) *Report {
+	verdicts := classes.Survey(set)
+	fo, by := classes.FORewritableByAnyKnown(set)
+	rep := &Report{
+		Verdicts:      verdicts,
+		FORewritable:  fo,
+		CertifiedBy:   by,
+		PositionGraph: posgraph.Build(set),
+		PNodeGraph:    pnode.Build(set, pnode.Options{}),
+	}
+	for _, v := range verdicts {
+		if v.Class == "weakly-acyclic" && v.Member {
+			rep.ChaseTerminates = true
+		}
+	}
+	return rep
+}
+
+// Is reports the verdict for the named class, and false when unknown.
+func (r *Report) Is(class string) bool {
+	for _, v := range r.Verdicts {
+		if v.Class == class {
+			return v.Member
+		}
+	}
+	return false
+}
+
+// Strategy recommends how to answer queries over the set: "rewrite" when
+// FO-rewritable, "chase" when only the chase is guaranteed to terminate,
+// and "bounded" when neither is certified (budgeted best-effort).
+func (r *Report) Strategy() string {
+	switch {
+	case r.FORewritable:
+		return "rewrite"
+	case r.ChaseTerminates:
+		return "chase"
+	default:
+		return "bounded"
+	}
+}
+
+// String renders a human-readable classification table.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, v := range r.Verdicts {
+		mark := "no "
+		if v.Member {
+			mark = "YES"
+		}
+		fmt.Fprintf(&b, "  %-18s %s", v.Class, mark)
+		if !v.Member && v.Reason != "" {
+			fmt.Fprintf(&b, "  (%s)", v.Reason)
+		}
+		b.WriteByte('\n')
+	}
+	if r.FORewritable {
+		fmt.Fprintf(&b, "FO-rewritable: yes (via %s)\n", strings.Join(r.CertifiedBy, ", "))
+	} else {
+		b.WriteString("FO-rewritable: not certified by any implemented condition\n")
+	}
+	fmt.Fprintf(&b, "recommended strategy: %s\n", r.Strategy())
+	return b.String()
+}

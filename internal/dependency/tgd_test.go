@@ -1,0 +1,205 @@
+package dependency
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func v(n string) logic.Term { return logic.NewVar(n) }
+func c(n string) logic.Term { return logic.NewConst(n) }
+func at(p string, args ...logic.Term) logic.Atom {
+	return logic.NewAtom(p, args...)
+}
+
+// paperR1 builds Example 1's R1: s(y1,y2,y3), t(y4) -> r(y1,y3).
+func paperR1() *TGD {
+	return MustNew("R1",
+		[]logic.Atom{at("s", v("Y1"), v("Y2"), v("Y3")), at("t", v("Y4"))},
+		[]logic.Atom{at("r", v("Y1"), v("Y3"))})
+}
+
+func TestVariableClassification(t *testing.T) {
+	r := paperR1()
+	dist := r.Distinguished()
+	if len(dist) != 2 || dist[0] != v("Y1") || dist[1] != v("Y3") {
+		t.Errorf("Distinguished = %v, want [Y1 Y3]", dist)
+	}
+	eb := r.ExistentialBody()
+	if len(eb) != 2 || eb[0] != v("Y2") || eb[1] != v("Y4") {
+		t.Errorf("ExistentialBody = %v, want [Y2 Y4]", eb)
+	}
+	if len(r.ExistentialHead()) != 0 {
+		t.Errorf("ExistentialHead = %v, want empty", r.ExistentialHead())
+	}
+	if !r.IsDistinguished(v("Y1")) || r.IsDistinguished(v("Y2")) {
+		t.Error("IsDistinguished wrong")
+	}
+}
+
+func TestExistentialHead(t *testing.T) {
+	// v(y1,y2), q(y2) -> s(y1,y3,y2): y3 is an existential head variable.
+	r := MustNew("R2",
+		[]logic.Atom{at("v", v("Y1"), v("Y2")), at("q", v("Y2"))},
+		[]logic.Atom{at("s", v("Y1"), v("Y3"), v("Y2"))})
+	eh := r.ExistentialHead()
+	if len(eh) != 1 || eh[0] != v("Y3") {
+		t.Errorf("ExistentialHead = %v, want [Y3]", eh)
+	}
+	if len(r.ExistentialBody()) != 0 {
+		t.Error("no existential body variables expected")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := New("bad", nil, []logic.Atom{at("r", v("X"))}); err == nil {
+		t.Error("empty body must be rejected")
+	}
+	if _, err := New("bad", []logic.Atom{at("r", v("X"))}, nil); err == nil {
+		t.Error("empty head must be rejected")
+	}
+	if _, err := New("bad", []logic.Atom{at("r", logic.NewNull("n"))}, []logic.Atom{at("s", v("X"))}); err == nil {
+		t.Error("nulls in rules must be rejected")
+	}
+}
+
+func TestSimpleViolations(t *testing.T) {
+	simple := paperR1()
+	if !simple.IsSimple() {
+		t.Errorf("paper R1 is simple; violations: %v", simple.SimpleViolations())
+	}
+	repeated := MustNew("", []logic.Atom{at("s", v("X"), v("X"))}, []logic.Atom{at("r", v("X"))})
+	viol := repeated.SimpleViolations()
+	if len(viol) != 1 || viol[0].Condition != 1 {
+		t.Errorf("repeated-variable violation expected, got %v", viol)
+	}
+	constant := MustNew("", []logic.Atom{at("s", c("a"))}, []logic.Atom{at("r", c("a"))})
+	viol = constant.SimpleViolations()
+	if len(viol) != 2 || viol[0].Condition != 2 {
+		t.Errorf("constant violations expected, got %v", viol)
+	}
+	multi := MustNew("", []logic.Atom{at("s", v("X"))}, []logic.Atom{at("r", v("X")), at("q", v("X"))})
+	viol = multi.SimpleViolations()
+	if len(viol) != 1 || viol[0].Condition != 3 {
+		t.Errorf("multi-head violation expected, got %v", viol)
+	}
+	if !strings.Contains(viol[0].String(), "iii") {
+		t.Errorf("violation string should cite condition (iii): %s", viol[0])
+	}
+}
+
+func TestRenameConsistent(t *testing.T) {
+	r := paperR1()
+	g := logic.NewVarGen("r")
+	rn := r.Rename(g)
+	// Y1 appears in body atom s position 1 and head position 1; the renamed
+	// rule must preserve that sharing.
+	if rn.Body[0].Args[0] != rn.Head[0].Args[0] {
+		t.Error("renaming must preserve body-head variable sharing")
+	}
+	if rn.Body[0].Args[0] == v("Y1") {
+		t.Error("renaming must actually rename")
+	}
+	// Original untouched.
+	if r.Body[0].Args[0] != v("Y1") {
+		t.Error("Rename must not mutate the receiver")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	r := paperR1()
+	cl := r.Clone()
+	cl.Body[0].Args[0] = c("z")
+	if r.Body[0].Args[0] != v("Y1") {
+		t.Error("Clone must deep-copy")
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	if got := (Position{Rel: "r"}).String(); got != "r[ ]" {
+		t.Errorf("generic position = %q", got)
+	}
+	if got := (Position{Rel: "r", Idx: 2}).String(); got != "r[2]" {
+		t.Errorf("indexed position = %q", got)
+	}
+	if !(Position{Rel: "r"}).Generic() || (Position{Rel: "r", Idx: 1}).Generic() {
+		t.Error("Generic() wrong")
+	}
+}
+
+func TestPosOf(t *testing.T) {
+	a := at("s", v("X"), v("Y"), v("X"))
+	p, ok := PosOf(v("Y"), a)
+	if !ok || p != (Position{Rel: "s", Idx: 2}) {
+		t.Errorf("PosOf(Y) = %v, %v", p, ok)
+	}
+	if _, ok := PosOf(v("Z"), a); ok {
+		t.Error("PosOf of absent variable must report false")
+	}
+	all := AllPosOf(v("X"), a)
+	if len(all) != 2 || all[0].Idx != 1 || all[1].Idx != 3 {
+		t.Errorf("AllPosOf(X) = %v", all)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	r1 := paperR1()
+	r2 := MustNew("", []logic.Atom{at("v", v("A"), v("B"))}, []logic.Atom{at("r", v("A"), v("B"))})
+	s := MustNewSet(r1, r2)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if r2.Label != "R2" {
+		t.Errorf("unlabeled rule must receive R2, got %q", r2.Label)
+	}
+	sig, err := s.Predicates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"s": 3, "t": 1, "r": 2, "v": 2}
+	for p, a := range want {
+		if sig[p] != a {
+			t.Errorf("sig[%s] = %d, want %d", p, sig[p], a)
+		}
+	}
+	if s.MaxArity() != 3 {
+		t.Errorf("MaxArity = %d, want 3", s.MaxArity())
+	}
+	heads := s.HeadPredicates()
+	if len(heads) != 1 || heads[0] != "r" {
+		t.Errorf("HeadPredicates = %v, want [r]", heads)
+	}
+	if !s.IsSimple() {
+		t.Error("set of simple rules must be simple")
+	}
+}
+
+func TestSetArityConflict(t *testing.T) {
+	r1 := MustNew("", []logic.Atom{at("p", v("X"))}, []logic.Atom{at("q", v("X"))})
+	r2 := MustNew("", []logic.Atom{at("p", v("X"), v("Y"))}, []logic.Atom{at("q", v("X"))})
+	s := MustNewSet(r1, r2)
+	if _, err := s.Predicates(); err == nil {
+		t.Error("arity conflict must be reported")
+	}
+}
+
+func TestSetConstants(t *testing.T) {
+	r := MustNew("", []logic.Atom{at("p", c("b"), c("a"))}, []logic.Atom{at("q", c("a"))})
+	s := MustNewSet(r)
+	cs := s.Constants()
+	if len(cs) != 2 || cs[0] != c("a") || cs[1] != c("b") {
+		t.Errorf("Constants = %v, want sorted [a b]", cs)
+	}
+}
+
+func TestTGDString(t *testing.T) {
+	r := MustNew("", []logic.Atom{at("p", v("X"))}, []logic.Atom{at("q", v("X"))})
+	if got := r.String(); got != "p(X) -> q(X) ." {
+		t.Errorf("String = %q", got)
+	}
+	s := MustNewSet(r)
+	if got := s.String(); got != "p(X) -> q(X) ." {
+		t.Errorf("Set.String = %q", got)
+	}
+}

@@ -1,0 +1,211 @@
+// Package dlite implements the DL-Lite_R description logic fragment and its
+// translation into TGDs. The paper positions DL-Lite as one of the two
+// landmark FO-rewritable ontology formalisms (§1) and notes that the WR
+// class "allows for the identification of new FO-rewritable Description
+// Logic languages" (§6); this package realizes the classical direction —
+// every DL-Lite_R TBox translates to a set of linear TGDs, hence lands in
+// SWR and WR — and lets DL-style ontologies run on the OBDA stack.
+//
+// Supported axioms (positive inclusions; disjointness is outside TGDs):
+//
+//	Student <= Person              concept inclusion A ⊑ A'
+//	Professor <= exists teaches    A ⊑ ∃R
+//	exists teaches <= Faculty      ∃R ⊑ A
+//	exists teaches- <= Course      ∃R⁻ ⊑ A
+//	Person <= exists hasParent-    A ⊑ ∃R⁻
+//	teaches <= involves            role inclusion R ⊑ S
+//	teaches- <= taughtBy           inverse role inclusion R⁻ ⊑ S
+//
+// Concepts are capitalized identifiers, roles lowercase; in the TGD
+// translation concept names are lowercased predicates of arity 1 and roles
+// predicates of arity 2.
+package dlite
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dependency"
+	"repro/internal/logic"
+)
+
+// Basic is a DL-Lite basic concept or role expression.
+type Basic struct {
+	// Name is the concept or role name.
+	Name string
+	// Role is true for role expressions (arity 2), false for concepts.
+	Role bool
+	// Exists marks ∃R / ∃R⁻ concept expressions built from a role.
+	Exists bool
+	// Inverse marks R⁻.
+	Inverse bool
+}
+
+// String renders the expression in the axiom syntax.
+func (b Basic) String() string {
+	s := b.Name
+	if b.Inverse {
+		s += "-"
+	}
+	if b.Exists {
+		return "exists " + s
+	}
+	return s
+}
+
+// Axiom is a positive inclusion LHS ⊑ RHS.
+type Axiom struct {
+	LHS, RHS Basic
+}
+
+// String renders "LHS <= RHS".
+func (a Axiom) String() string { return a.LHS.String() + " <= " + a.RHS.String() }
+
+// ParseAxiom parses one axiom like "Student <= Person" or
+// "exists teaches- <= Course".
+func ParseAxiom(src string) (Axiom, error) {
+	parts := strings.Split(src, "<=")
+	if len(parts) != 2 {
+		return Axiom{}, fmt.Errorf("dlite: axiom %q must contain exactly one '<='", src)
+	}
+	lhs, err := parseBasic(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Axiom{}, fmt.Errorf("dlite: %q: %w", src, err)
+	}
+	rhs, err := parseBasic(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return Axiom{}, fmt.Errorf("dlite: %q: %w", src, err)
+	}
+	ax := Axiom{LHS: lhs, RHS: rhs}
+	if err := ax.validate(); err != nil {
+		return Axiom{}, fmt.Errorf("dlite: %q: %w", src, err)
+	}
+	return ax, nil
+}
+
+func (a Axiom) validate() error {
+	lhsConcept := !a.LHS.Role || a.LHS.Exists
+	rhsConcept := !a.RHS.Role || a.RHS.Exists
+	if lhsConcept != rhsConcept {
+		return fmt.Errorf("cannot mix a concept and a role in one inclusion")
+	}
+	if !lhsConcept && (a.LHS.Exists || a.RHS.Exists) {
+		return fmt.Errorf("role inclusions cannot use 'exists'")
+	}
+	return nil
+}
+
+func parseBasic(src string) (Basic, error) {
+	exists := false
+	if strings.HasPrefix(src, "exists ") {
+		exists = true
+		src = strings.TrimSpace(strings.TrimPrefix(src, "exists "))
+	}
+	inverse := false
+	if strings.HasSuffix(src, "-") {
+		inverse = true
+		src = strings.TrimSuffix(src, "-")
+	}
+	if src == "" {
+		return Basic{}, fmt.Errorf("empty name")
+	}
+	for _, r := range src {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_') {
+			return Basic{}, fmt.Errorf("bad character %q in name %q", string(r), src)
+		}
+	}
+	isConceptName := src[0] >= 'A' && src[0] <= 'Z'
+	switch {
+	case exists:
+		if isConceptName {
+			return Basic{}, fmt.Errorf("'exists' needs a role (lowercase) name, got %q", src)
+		}
+		return Basic{Name: src, Role: true, Exists: true, Inverse: inverse}, nil
+	case isConceptName:
+		if inverse {
+			return Basic{}, fmt.Errorf("concepts cannot be inverted: %q", src)
+		}
+		return Basic{Name: src, Role: false}, nil
+	default:
+		return Basic{Name: src, Role: true, Inverse: inverse}, nil
+	}
+}
+
+// TBox is a DL-Lite_R terminology: a list of positive inclusions.
+type TBox struct {
+	Axioms []Axiom
+}
+
+// ParseTBox parses one axiom per non-empty line; '%' starts a comment.
+func ParseTBox(src string) (*TBox, error) {
+	var t TBox
+	for ln, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '%'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ax, err := ParseAxiom(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		t.Axioms = append(t.Axioms, ax)
+	}
+	return &t, nil
+}
+
+// MustParseTBox is ParseTBox panicking on error.
+func MustParseTBox(src string) *TBox {
+	t, err := ParseTBox(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// PredName maps a DL name to its TGD predicate (concepts lowercased).
+func PredName(b Basic) string {
+	if b.Role {
+		return b.Name
+	}
+	return strings.ToLower(b.Name[:1]) + b.Name[1:]
+}
+
+// Translate compiles the TBox into a TGD set. Every produced rule is linear
+// (single body atom, single head atom), so the output is always inside SWR
+// and WR, and query answering over it is FO-rewritable.
+func (t *TBox) Translate() (*dependency.Set, error) {
+	x, y, z := logic.NewVar("X"), logic.NewVar("Y"), logic.NewVar("Z")
+	var rules []*dependency.TGD
+	for i, ax := range t.Axioms {
+		label := fmt.Sprintf("A%d", i+1)
+		body := basicAtom(ax.LHS, x, y)
+		var head logic.Atom
+		if !ax.RHS.Role || ax.RHS.Exists {
+			// Concept on the right: fresh existential partner for ∃R.
+			head = basicAtom(ax.RHS, x, z)
+		} else {
+			head = basicAtom(ax.RHS, x, y)
+		}
+		r, err := dependency.New(label, []logic.Atom{body}, []logic.Atom{head})
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return dependency.NewSet(rules...)
+}
+
+// basicAtom builds the atom for a basic expression with subject s and
+// (for roles) partner p: A(s), R(s,p), R⁻ as R(p,s).
+func basicAtom(b Basic, s, p logic.Term) logic.Atom {
+	if !b.Role {
+		return logic.NewAtom(PredName(b), s)
+	}
+	if b.Inverse {
+		return logic.NewAtom(PredName(b), p, s)
+	}
+	return logic.NewAtom(PredName(b), s, p)
+}

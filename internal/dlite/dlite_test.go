@@ -1,0 +1,142 @@
+package dlite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/classes"
+	"repro/internal/pnode"
+	"repro/internal/posgraph"
+)
+
+func TestParseAxiomForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"Student <= Person", "Student <= Person"},
+		{"Professor <= exists teaches", "Professor <= exists teaches"},
+		{"exists teaches <= Faculty", "exists teaches <= Faculty"},
+		{"exists teaches- <= Course", "exists teaches- <= Course"},
+		{"Person <= exists hasParent-", "Person <= exists hasParent-"},
+		{"teaches <= involves", "teaches <= involves"},
+		{"teaches- <= taughtBy", "teaches- <= taughtBy"},
+	}
+	for _, tc := range cases {
+		ax, err := ParseAxiom(tc.src)
+		if err != nil {
+			t.Errorf("ParseAxiom(%q): %v", tc.src, err)
+			continue
+		}
+		if ax.String() != tc.want {
+			t.Errorf("ParseAxiom(%q).String() = %q", tc.src, ax.String())
+		}
+	}
+}
+
+func TestParseAxiomErrors(t *testing.T) {
+	for _, src := range []string{
+		"Student Person",             // no <=
+		"Student <= Person <= Agent", // two <=
+		"Student <= teaches",         // concept vs role
+		"exists Teaches <= Course",   // exists on concept name
+		"Student- <= Person",         // inverted concept
+		" <= Person",                 // empty lhs
+		"Stu dent <= Person",         // bad char
+	} {
+		if _, err := ParseAxiom(src); err == nil {
+			t.Errorf("ParseAxiom(%q) must fail", src)
+		}
+	}
+}
+
+func universityTBox() *TBox {
+	return MustParseTBox(`
+% a DL-Lite_R university TBox
+Student <= Person
+Professor <= Faculty
+Faculty <= Person
+Professor <= exists teaches
+exists teaches <= Faculty
+exists teaches- <= Course
+Student <= exists enrolledIn
+exists enrolledIn- <= Course
+teaches- <= taughtBy
+`)
+}
+
+func TestTranslateShapes(t *testing.T) {
+	set, err := universityTBox().Translate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 9 {
+		t.Fatalf("rules = %d", set.Len())
+	}
+	text := set.String()
+	for _, want := range []string{
+		"student(X) -> person(X)",
+		"professor(X) -> teaches(X, Z)",
+		"teaches(X, Y) -> faculty(X)",
+		"teaches(Y, X) -> course(X)",
+		"teaches(Y, X) -> taughtBy(X, Y)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("translation missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDLLiteIsLinearSWRWR is the classical landscape fact the paper builds
+// on: DL-Lite_R TBoxes translate to linear TGDs, hence are SWR and WR.
+func TestDLLiteIsLinearSWRWR(t *testing.T) {
+	set, err := universityTBox().Translate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := classes.Linear(set); !v.Member {
+		t.Errorf("DL-Lite translation must be linear: %s", v.Reason)
+	}
+	if !set.IsSimple() {
+		t.Error("DL-Lite translation must be simple")
+	}
+	if res := posgraph.Check(set); !res.SWR {
+		t.Errorf("DL-Lite translation must be SWR: %v", res.Violations)
+	}
+	if res := pnode.Check(set); !res.WR {
+		t.Errorf("DL-Lite translation must be WR: %v", res.Violations)
+	}
+}
+
+func TestInverseTranslation(t *testing.T) {
+	set, err := MustParseTBox(`Person <= exists hasParent-`).Translate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ⊑ ∃R⁻ : person(X) -> hasParent(Z, X) — X in object position.
+	r := set.Rules[0]
+	if r.Head[0].Pred != "hasParent" || r.Head[0].Args[1].Name != "X" {
+		t.Errorf("inverse existential wrong: %v", r)
+	}
+	eh := r.ExistentialHead()
+	if len(eh) != 1 || eh[0].Name != "Z" {
+		t.Errorf("existential head = %v", eh)
+	}
+}
+
+func TestParseTBoxLineErrors(t *testing.T) {
+	if _, err := ParseTBox("Student <= Person\nbroken axiom\n"); err == nil {
+		t.Error("bad line must be reported")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should cite line 2: %v", err)
+	}
+}
+
+func TestPredName(t *testing.T) {
+	if PredName(Basic{Name: "Student"}) != "student" {
+		t.Error("concepts lowercase their first letter")
+	}
+	if PredName(Basic{Name: "teaches", Role: true}) != "teaches" {
+		t.Error("roles keep their name")
+	}
+}

@@ -1,0 +1,103 @@
+// Package dot renders the paper's graphs — position graphs (Figure 1,
+// Figure 2), P-node graphs (Figure 3) and graphs of rule dependencies — in
+// Graphviz DOT format, so the figures can be regenerated from any rule set.
+package dot
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grd"
+	"repro/internal/pnode"
+	"repro/internal/posgraph"
+)
+
+// PositionGraph renders a position graph as DOT. Edge labels show the m/s
+// sets; dangerous (m+s) edges are drawn bold.
+func PositionGraph(g *posgraph.Graph, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", ident(title))
+	b.WriteString("  rankdir=LR;\n  node [shape=ellipse, fontname=\"Helvetica\"];\n")
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&b, "  %s [label=%q];\n", ident(n.String()), n.String())
+	}
+	for _, e := range g.Edges() {
+		attrs := []string{}
+		if l := e.Label.String(); l != "" {
+			attrs = append(attrs, fmt.Sprintf("label=%q", l))
+		}
+		if e.Label.Has(posgraph.M) && e.Label.Has(posgraph.S) {
+			attrs = append(attrs, "style=bold", "color=red")
+		}
+		fmt.Fprintf(&b, "  %s -> %s", ident(e.From.String()), ident(e.To.String()))
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, " [%s]", strings.Join(attrs, ", "))
+		}
+		b.WriteString(";\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// PNodeGraph renders a P-node graph as DOT. Node labels show σ, with the
+// context on a second line when non-trivial.
+func PNodeGraph(g *pnode.Graph, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", ident(title))
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, n := range g.Nodes() {
+		label := n.Sigma.String()
+		if len(n.Context) > 1 {
+			var ctx []string
+			for _, a := range n.Context {
+				ctx = append(ctx, a.String())
+			}
+			label += "\\n{" + strings.Join(ctx, ", ") + "}"
+		}
+		fmt.Fprintf(&b, "  %s [label=%q];\n", ident(n.Key()), label)
+	}
+	for _, e := range g.Edges() {
+		attrs := []string{}
+		if l := e.Label.String(); l != "" {
+			attrs = append(attrs, fmt.Sprintf("label=%q", l))
+		}
+		if e.Label.Has(pnode.D | pnode.M | pnode.S) {
+			attrs = append(attrs, "style=bold", "color=red")
+		}
+		if e.Label.Has(pnode.I) {
+			attrs = append(attrs, "style=dashed")
+		}
+		fmt.Fprintf(&b, "  %s -> %s", ident(e.From.Key()), ident(e.To.Key()))
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, " [%s]", strings.Join(attrs, ", "))
+		}
+		b.WriteString(";\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// RuleDependencies renders a GRD as DOT with rule labels as nodes.
+func RuleDependencies(g *grd.Graph, labels []string, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", ident(title))
+	b.WriteString("  node [shape=circle, fontname=\"Helvetica\"];\n")
+	for i, l := range labels {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, l)
+	}
+	for i := range labels {
+		for _, j := range g.DependsOn(i) {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", i, j)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ident produces a safe DOT identifier from arbitrary text by quoting.
+func ident(s string) string {
+	if s == "" {
+		return `"g"`
+	}
+	return fmt.Sprintf("%q", s)
+}

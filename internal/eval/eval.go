@@ -1,0 +1,274 @@
+// Package eval evaluates conjunctive queries and unions of conjunctive
+// queries over storage instances. Evaluation is index-backed backtracking
+// join with a greedy bound-first atom order — the "classical DBMS
+// evaluation" that a first-order rewriting reduces ontological query
+// answering to.
+package eval
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Options configures evaluation.
+type Options struct {
+	// FilterNulls drops answers containing labelled nulls. Certain-answer
+	// semantics over a chased instance requires it.
+	FilterNulls bool
+	// Limit stops after this many distinct answers (0 = unlimited).
+	Limit int
+}
+
+// Answers is a deduplicated set of answer tuples.
+type Answers struct {
+	arity  int
+	keys   map[string]bool
+	tuples []storage.Tuple
+}
+
+// NewAnswers creates an empty answer set of the given arity.
+func NewAnswers(arity int) *Answers {
+	return &Answers{arity: arity, keys: make(map[string]bool)}
+}
+
+// Add inserts a tuple, reporting whether it was new.
+func (a *Answers) Add(t storage.Tuple) bool {
+	k := t.Key()
+	if a.keys[k] {
+		return false
+	}
+	a.keys[k] = true
+	a.tuples = append(a.tuples, t.Clone())
+	return true
+}
+
+// Contains reports membership.
+func (a *Answers) Contains(t storage.Tuple) bool { return a.keys[t.Key()] }
+
+// Len returns the number of distinct answers.
+func (a *Answers) Len() int { return len(a.tuples) }
+
+// Arity returns the tuple width.
+func (a *Answers) Arity() int { return a.arity }
+
+// Tuples returns the answers in insertion order; callers must not mutate.
+func (a *Answers) Tuples() []storage.Tuple { return a.tuples }
+
+// Sorted returns the answers sorted lexicographically by key (stable,
+// deterministic output for printing and comparison).
+func (a *Answers) Sorted() []storage.Tuple {
+	out := make([]storage.Tuple, len(a.tuples))
+	copy(out, a.tuples)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Equal reports whether two answer sets contain the same tuples.
+func (a *Answers) Equal(b *Answers) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for k := range a.keys {
+		if !b.keys[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Minus returns the tuples in a but not in b.
+func (a *Answers) Minus(b *Answers) []storage.Tuple {
+	var out []storage.Tuple
+	for _, t := range a.tuples {
+		if !b.Contains(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// String renders the answers as sorted comma-separated rows.
+func (a *Answers) String() string {
+	var lines []string
+	for _, t := range a.Sorted() {
+		parts := make([]string, len(t))
+		for i, x := range t {
+			parts[i] = x.String()
+		}
+		lines = append(lines, "("+strings.Join(parts, ", ")+")")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// CQ evaluates a conjunctive query over the instance.
+func CQ(q *query.CQ, ins *storage.Instance, opts Options) *Answers {
+	out := NewAnswers(q.Arity())
+	enumerateMatches(q.Body, ins, func(binding logic.Subst) bool {
+		tuple := make(storage.Tuple, len(q.Head.Args))
+		for i, t := range q.Head.Args {
+			tuple[i] = binding.Walk(t)
+		}
+		if opts.FilterNulls && tuple.HasNull() {
+			return true
+		}
+		out.Add(tuple)
+		return opts.Limit == 0 || out.Len() < opts.Limit
+	})
+	return out
+}
+
+// UCQ evaluates a union of conjunctive queries, unioning the answers.
+func UCQ(u *query.UCQ, ins *storage.Instance, opts Options) *Answers {
+	out := NewAnswers(u.Arity())
+	for _, q := range u.CQs {
+		for _, t := range CQ(q, ins, opts).Tuples() {
+			out.Add(t)
+			if opts.Limit > 0 && out.Len() >= opts.Limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// Holds reports whether a boolean query (arity 0) is satisfied.
+func Holds(q *query.CQ, ins *storage.Instance, opts Options) bool {
+	opts.Limit = 1
+	return CQ(q, ins, opts).Len() > 0
+}
+
+// Matches enumerates every substitution of the body variables such that all
+// body atoms hold in the instance, invoking yield for each; enumeration
+// stops when yield returns false. The substitution passed to yield is
+// reused across calls — callers must copy what they keep.
+func Matches(body []logic.Atom, ins *storage.Instance, yield func(logic.Subst) bool) {
+	enumerateMatches(body, ins, yield)
+}
+
+func enumerateMatches(body []logic.Atom, ins *storage.Instance, yield func(logic.Subst) bool) {
+	order := planOrder(body, ins)
+	binding := logic.NewSubst()
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(order) {
+			return yield(binding)
+		}
+		a := order[i]
+		rel := ins.Relation(a.Pred)
+		if rel == nil || rel.Arity() != a.Arity() {
+			return true // no matching tuples; this branch yields nothing
+		}
+		// Choose the most selective access path: an index lookup on a bound
+		// column if any, else a scan.
+		candIdx := candidateOffsets(a, rel, binding)
+		for _, off := range candIdx {
+			tuple := rel.Tuples()[off]
+			var undo []logic.Term
+			ok := true
+			for j, argT := range a.Args {
+				s := binding.Walk(argT)
+				t := tuple[j]
+				switch {
+				case s == t:
+				case s.IsVar():
+					binding[s] = t
+					undo = append(undo, s)
+				default:
+					ok = false
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok && !rec(i+1) {
+				for _, u := range undo {
+					delete(binding, u)
+				}
+				return false
+			}
+			for _, u := range undo {
+				delete(binding, u)
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// candidateOffsets returns the offsets of tuples to try for atom a under the
+// current binding: an index lookup when some argument is bound, otherwise
+// all offsets.
+func candidateOffsets(a logic.Atom, rel *storage.Relation, binding logic.Subst) []int {
+	bestCol, bestTerm, bestLen := -1, logic.Term{}, -1
+	for j, argT := range a.Args {
+		s := binding.Walk(argT)
+		if s.IsVar() {
+			continue
+		}
+		l := len(rel.Lookup(j, s))
+		if bestCol == -1 || l < bestLen {
+			bestCol, bestTerm, bestLen = j, s, l
+		}
+	}
+	if bestCol >= 0 {
+		return rel.Lookup(bestCol, bestTerm)
+	}
+	all := make([]int, rel.Len())
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// planOrder orders atoms for evaluation: smallest relations and most
+// constants first, then greedily by connectivity to already-planned atoms.
+func planOrder(body []logic.Atom, ins *storage.Instance) []logic.Atom {
+	scored := make([]logic.Atom, len(body))
+	copy(scored, body)
+	size := func(a logic.Atom) int {
+		rel := ins.Relation(a.Pred)
+		if rel == nil {
+			return 0
+		}
+		n := rel.Len() * 4
+		for _, t := range a.Args {
+			if t.IsRigid() {
+				n--
+			}
+		}
+		return n
+	}
+	sort.SliceStable(scored, func(i, j int) bool { return size(scored[i]) < size(scored[j]) })
+
+	placed := make([]logic.Atom, 0, len(scored))
+	bound := make(map[logic.Term]bool)
+	remaining := scored
+	for len(remaining) > 0 {
+		best := 0
+		if len(placed) > 0 {
+			found := false
+			for i, a := range remaining {
+				for _, v := range a.Vars() {
+					if bound[v] {
+						best, found = i, true
+						break
+					}
+				}
+				if found {
+					break
+				}
+			}
+		}
+		a := remaining[best]
+		placed = append(placed, a)
+		for _, v := range a.Vars() {
+			bound[v] = true
+		}
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return placed
+}

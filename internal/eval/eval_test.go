@@ -1,0 +1,221 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+func v(n string) logic.Term { return logic.NewVar(n) }
+func c(n string) logic.Term { return logic.NewConst(n) }
+func at(p string, args ...logic.Term) logic.Atom {
+	return logic.NewAtom(p, args...)
+}
+
+func inst(atoms ...logic.Atom) *storage.Instance {
+	return storage.MustFromAtoms(atoms)
+}
+
+func TestCQSingleAtom(t *testing.T) {
+	ins := inst(at("r", c("a"), c("b")), at("r", c("c"), c("d")))
+	q := query.MustNew(at("q", v("X")), []logic.Atom{at("r", v("X"), v("Y"))})
+	ans := CQ(q, ins, Options{})
+	if ans.Len() != 2 {
+		t.Fatalf("answers = %v", ans)
+	}
+	if !ans.Contains(storage.Tuple{c("a")}) || !ans.Contains(storage.Tuple{c("c")}) {
+		t.Errorf("missing expected answers: %v", ans)
+	}
+}
+
+func TestCQJoin(t *testing.T) {
+	ins := inst(
+		at("r", c("a"), c("b")),
+		at("r", c("b"), c("c")),
+		at("s", c("b"), c("x")),
+	)
+	q := query.MustNew(at("q", v("X"), v("Z")),
+		[]logic.Atom{at("r", v("X"), v("Y")), at("s", v("Y"), v("Z"))})
+	ans := CQ(q, ins, Options{})
+	if ans.Len() != 1 || !ans.Contains(storage.Tuple{c("a"), c("x")}) {
+		t.Errorf("join answers = %v", ans)
+	}
+}
+
+func TestCQConstantSelection(t *testing.T) {
+	ins := inst(at("r", c("a"), c("b")), at("r", c("c"), c("b")))
+	q := query.MustNew(at("q", v("Y")), []logic.Atom{at("r", c("a"), v("Y"))})
+	ans := CQ(q, ins, Options{})
+	if ans.Len() != 1 || !ans.Contains(storage.Tuple{c("b")}) {
+		t.Errorf("selection answers = %v", ans)
+	}
+}
+
+func TestCQRepeatedVariable(t *testing.T) {
+	ins := inst(at("r", c("a"), c("a")), at("r", c("a"), c("b")))
+	q := query.MustNew(at("q", v("X")), []logic.Atom{at("r", v("X"), v("X"))})
+	ans := CQ(q, ins, Options{})
+	if ans.Len() != 1 || !ans.Contains(storage.Tuple{c("a")}) {
+		t.Errorf("repeated-var answers = %v", ans)
+	}
+}
+
+func TestCQMissingRelation(t *testing.T) {
+	ins := inst(at("r", c("a")))
+	q := query.MustNew(at("q", v("X")), []logic.Atom{at("nope", v("X"))})
+	if CQ(q, ins, Options{}).Len() != 0 {
+		t.Error("missing relation must yield no answers")
+	}
+}
+
+func TestCQSelfJoin(t *testing.T) {
+	// Path of length 2 over the same relation.
+	ins := inst(
+		at("e", c("1"), c("2")),
+		at("e", c("2"), c("3")),
+		at("e", c("3"), c("1")),
+	)
+	q := query.MustNew(at("q", v("X"), v("Z")),
+		[]logic.Atom{at("e", v("X"), v("Y")), at("e", v("Y"), v("Z"))})
+	ans := CQ(q, ins, Options{})
+	if ans.Len() != 3 {
+		t.Errorf("2-paths on a 3-cycle = %v (want 3)", ans)
+	}
+}
+
+func TestBooleanQuery(t *testing.T) {
+	ins := inst(at("r", c("a"), c("b")))
+	yes := query.MustNew(at("q"), []logic.Atom{at("r", v("X"), v("Y"))})
+	no := query.MustNew(at("q"), []logic.Atom{at("r", v("X"), v("X"))})
+	if !Holds(yes, ins, Options{}) {
+		t.Error("boolean query must hold")
+	}
+	if Holds(no, ins, Options{}) {
+		t.Error("r(X,X) must not hold")
+	}
+}
+
+func TestFilterNulls(t *testing.T) {
+	n := logic.NewNull("n1")
+	ins := storage.NewInstance()
+	ins.InsertAtom(at("r", c("a"), n))
+	ins.InsertAtom(at("r", c("b"), c("c")))
+	q := query.MustNew(at("q", v("X"), v("Y")), []logic.Atom{at("r", v("X"), v("Y"))})
+	all := CQ(q, ins, Options{})
+	if all.Len() != 2 {
+		t.Errorf("unfiltered = %v", all)
+	}
+	filtered := CQ(q, ins, Options{FilterNulls: true})
+	if filtered.Len() != 1 || !filtered.Contains(storage.Tuple{c("b"), c("c")}) {
+		t.Errorf("filtered = %v", filtered)
+	}
+	// Joining through a null is fine as long as the answer is null-free.
+	q2 := query.MustNew(at("q", v("X")), []logic.Atom{at("r", v("X"), v("Y"))})
+	f2 := CQ(q2, ins, Options{FilterNulls: true})
+	if f2.Len() != 2 {
+		t.Errorf("null in join position must not block null-free answers: %v", f2)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	ins := storage.NewInstance()
+	for i := 0; i < 100; i++ {
+		ins.InsertAtom(at("r", c(fmt.Sprintf("v%d", i))))
+	}
+	q := query.MustNew(at("q", v("X")), []logic.Atom{at("r", v("X"))})
+	ans := CQ(q, ins, Options{Limit: 7})
+	if ans.Len() != 7 {
+		t.Errorf("Limit ignored: %d answers", ans.Len())
+	}
+}
+
+func TestUCQUnion(t *testing.T) {
+	ins := inst(at("cat", c("tom")), at("dog", c("rex")))
+	u := query.MustNewUCQ(
+		query.MustNew(at("q", v("X")), []logic.Atom{at("cat", v("X"))}),
+		query.MustNew(at("q", v("X")), []logic.Atom{at("dog", v("X"))}),
+	)
+	ans := UCQ(u, ins, Options{})
+	if ans.Len() != 2 {
+		t.Errorf("UCQ answers = %v", ans)
+	}
+}
+
+func TestUCQDedupAcrossDisjuncts(t *testing.T) {
+	ins := inst(at("a", c("x")), at("b", c("x")))
+	u := query.MustNewUCQ(
+		query.MustNew(at("q", v("X")), []logic.Atom{at("a", v("X"))}),
+		query.MustNew(at("q", v("X")), []logic.Atom{at("b", v("X"))}),
+	)
+	ans := UCQ(u, ins, Options{})
+	if ans.Len() != 1 {
+		t.Errorf("duplicate answers across disjuncts must dedup: %v", ans)
+	}
+}
+
+func TestAnswersSetOps(t *testing.T) {
+	a := NewAnswers(1)
+	a.Add(storage.Tuple{c("x")})
+	a.Add(storage.Tuple{c("y")})
+	b := NewAnswers(1)
+	b.Add(storage.Tuple{c("y")})
+	b.Add(storage.Tuple{c("x")})
+	if !a.Equal(b) {
+		t.Error("order-insensitive Equal failed")
+	}
+	b.Add(storage.Tuple{c("z")})
+	if a.Equal(b) {
+		t.Error("Equal must detect size difference")
+	}
+	diff := b.Minus(a)
+	if len(diff) != 1 || diff[0][0] != c("z") {
+		t.Errorf("Minus = %v", diff)
+	}
+	sorted := b.Sorted()
+	if len(sorted) != 3 {
+		t.Errorf("Sorted = %v", sorted)
+	}
+}
+
+func TestConstantInHead(t *testing.T) {
+	ins := inst(at("r", c("a")))
+	q := query.MustNew(at("q", c("k"), v("X")), []logic.Atom{at("r", v("X"))})
+	ans := CQ(q, ins, Options{})
+	if ans.Len() != 1 || !ans.Contains(storage.Tuple{c("k"), c("a")}) {
+		t.Errorf("constant head answers = %v", ans)
+	}
+}
+
+func TestMatchesEnumeratesAllBindings(t *testing.T) {
+	ins := inst(at("r", c("a"), c("b")), at("r", c("a"), c("c")))
+	count := 0
+	Matches([]logic.Atom{at("r", v("X"), v("Y"))}, ins, func(s logic.Subst) bool {
+		count++
+		return true
+	})
+	if count != 2 {
+		t.Errorf("Matches yielded %d bindings, want 2", count)
+	}
+	// Early stop.
+	count = 0
+	Matches([]logic.Atom{at("r", v("X"), v("Y"))}, ins, func(s logic.Subst) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("Matches must stop when yield returns false, got %d", count)
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	ins := inst(at("a", c("1")), at("a", c("2")), at("b", c("x")), at("b", c("y")))
+	q := query.MustNew(at("q", v("X"), v("Y")),
+		[]logic.Atom{at("a", v("X")), at("b", v("Y"))})
+	ans := CQ(q, ins, Options{})
+	if ans.Len() != 4 {
+		t.Errorf("cross product = %d answers, want 4", ans.Len())
+	}
+}

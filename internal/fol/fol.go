@@ -1,0 +1,413 @@
+// Package fol provides a first-order logic layer above conjunctive queries:
+// formula trees (atoms, conjunction, disjunction, negation, quantifiers),
+// conversion from UCQs, model checking against database instances, and
+// pretty-printing.
+//
+// The paper's Definition 1 states FO-rewritability in terms of arbitrary FO
+// queries: cert(q, P, D) = ans(q′, D) for some FO q′. The rewriting engine
+// produces UCQs — a fragment of FO — and this package closes the loop by
+// giving those rewritings their first-order reading and an independent
+// (formula-level) evaluation semantics: ans(q′, D) is computed by direct
+// model checking of q′ against the finite interpretation I_D, exactly the
+// paper's semantics under the Unique Name Assumption.
+package fol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Formula is a first-order formula over the relational signature. The free
+// variables of a query formula are its answer variables.
+type Formula interface {
+	// FreeVars returns the free variables in order of first occurrence.
+	FreeVars() []logic.Term
+	// String renders the formula with standard connectives.
+	String() string
+	// eval reports satisfaction under the assignment over the instance.
+	eval(ins *storage.Instance, env logic.Subst) bool
+}
+
+// Atom is an atomic formula.
+type Atom struct {
+	A logic.Atom
+}
+
+// FreeVars returns the atom's variables.
+func (f Atom) FreeVars() []logic.Term { return f.A.Vars() }
+
+// String renders the atom.
+func (f Atom) String() string { return f.A.String() }
+
+func (f Atom) eval(ins *storage.Instance, env logic.Subst) bool {
+	g := env.ApplyAtom(f.A)
+	return ins.ContainsAtom(g)
+}
+
+// And is conjunction over one or more formulas.
+type And struct {
+	Subs []Formula
+}
+
+// FreeVars returns the union of the conjuncts' free variables.
+func (f And) FreeVars() []logic.Term { return unionVars(f.Subs) }
+
+// String renders (φ1 ∧ φ2 ∧ ...).
+func (f And) String() string { return joinSubs(f.Subs, " & ") }
+
+func (f And) eval(ins *storage.Instance, env logic.Subst) bool {
+	for _, s := range f.Subs {
+		if !s.eval(ins, env) {
+			return false
+		}
+	}
+	return true
+}
+
+// Or is disjunction over one or more formulas.
+type Or struct {
+	Subs []Formula
+}
+
+// FreeVars returns the union of the disjuncts' free variables.
+func (f Or) FreeVars() []logic.Term { return unionVars(f.Subs) }
+
+// String renders (φ1 | φ2 | ...).
+func (f Or) String() string { return joinSubs(f.Subs, " | ") }
+
+func (f Or) eval(ins *storage.Instance, env logic.Subst) bool {
+	for _, s := range f.Subs {
+		if s.eval(ins, env) {
+			return true
+		}
+	}
+	return false
+}
+
+// Not is negation.
+type Not struct {
+	Sub Formula
+}
+
+// FreeVars returns the subformula's free variables.
+func (f Not) FreeVars() []logic.Term { return f.Sub.FreeVars() }
+
+// String renders !φ.
+func (f Not) String() string { return "!" + f.Sub.String() }
+
+func (f Not) eval(ins *storage.Instance, env logic.Subst) bool {
+	return !f.Sub.eval(ins, env)
+}
+
+// Exists is existential quantification over one variable.
+type Exists struct {
+	Var logic.Term
+	Sub Formula
+}
+
+// FreeVars returns the subformula's free variables minus the bound one.
+func (f Exists) FreeVars() []logic.Term { return minusVar(f.Sub.FreeVars(), f.Var) }
+
+// String renders ∃X.φ (ASCII: "exists X. φ").
+func (f Exists) String() string {
+	return fmt.Sprintf("exists %s. %s", f.Var, f.Sub)
+}
+
+func (f Exists) eval(ins *storage.Instance, env logic.Subst) bool {
+	for _, c := range activeDomain(ins) {
+		env2 := env.Clone()
+		env2.Bind(f.Var, c)
+		if f.Sub.eval(ins, env2) {
+			return true
+		}
+	}
+	return false
+}
+
+// ForAll is universal quantification over one variable.
+type ForAll struct {
+	Var logic.Term
+	Sub Formula
+}
+
+// FreeVars returns the subformula's free variables minus the bound one.
+func (f ForAll) FreeVars() []logic.Term { return minusVar(f.Sub.FreeVars(), f.Var) }
+
+// String renders ∀X.φ (ASCII: "forall X. φ").
+func (f ForAll) String() string {
+	return fmt.Sprintf("forall %s. %s", f.Var, f.Sub)
+}
+
+func (f ForAll) eval(ins *storage.Instance, env logic.Subst) bool {
+	for _, c := range activeDomain(ins) {
+		env2 := env.Clone()
+		env2.Bind(f.Var, c)
+		if !f.Sub.eval(ins, env2) {
+			return false
+		}
+	}
+	return true
+}
+
+func unionVars(subs []Formula) []logic.Term {
+	seen := make(map[logic.Term]bool)
+	var out []logic.Term
+	for _, s := range subs {
+		for _, v := range s.FreeVars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func minusVar(vars []logic.Term, v logic.Term) []logic.Term {
+	var out []logic.Term
+	for _, x := range vars {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func joinSubs(subs []Formula, sep string) string {
+	parts := make([]string, len(subs))
+	for i, s := range subs {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// activeDomain returns the constants and nulls of the instance, sorted for
+// deterministic enumeration.
+func activeDomain(ins *storage.Instance) []logic.Term {
+	seen := make(map[logic.Term]bool)
+	var out []logic.Term
+	for _, a := range ins.Atoms() {
+		for _, t := range a.Args {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// FromCQ converts a conjunctive query to its FO reading: an existentially
+// quantified conjunction whose free variables are the answer variables.
+func FromCQ(q *query.CQ) Formula {
+	conj := make([]Formula, len(q.Body))
+	for i, a := range q.Body {
+		conj[i] = Atom{A: a}
+	}
+	var f Formula = And{Subs: conj}
+	ex := q.ExistentialVars()
+	for i := len(ex) - 1; i >= 0; i-- {
+		f = Exists{Var: ex[i], Sub: f}
+	}
+	return f
+}
+
+// FromUCQ converts a union of conjunctive queries to the disjunction of the
+// disjuncts' FO readings. Disjuncts are aligned on a common tuple of answer
+// variables (those of the first disjunct); heads with constants or repeated
+// variables keep their constraints as extra equalities via renaming.
+func FromUCQ(u *query.UCQ) (Formula, []logic.Term, error) {
+	if err := u.Validate(); err != nil {
+		return nil, nil, err
+	}
+	// Common answer tuple: fresh variables A1..Ak.
+	k := u.Arity()
+	answer := make([]logic.Term, k)
+	for i := range answer {
+		answer[i] = logic.NewVar(fmt.Sprintf("A%d", i+1))
+	}
+	var disjuncts []Formula
+	for _, cq := range u.CQs {
+		// Rename the disjunct so its head arguments become A1..Ak. Head
+		// constants and repeated head variables need the body to constrain
+		// the common variables; build a substitution when possible and
+		// fall back to equality atoms (via a tiny =-free trick: reuse the
+		// body variable and add an equality through unification) —
+		// unification always succeeds here because heads are safe.
+		ren := logic.NewSubst()
+		conj := []Formula{}
+		ok := true
+		for i, t := range cq.Head.Args {
+			switch {
+			case t.IsVar():
+				if img, bound := ren[t]; bound {
+					// Repeated head variable: Ai must equal the earlier
+					// binding; encode as sharing the body variable and an
+					// equality conjunct Ai = earlier. Without a first-class
+					// equality predicate we instead rename the second
+					// answer position onto the same variable, which is
+					// expressible because FO answers are computed by
+					// substitution below.
+					conj = append(conj, eq{answer[i], img})
+				} else {
+					ren.Bind(t, answer[i])
+				}
+			case t.IsConst():
+				conj = append(conj, eq{answer[i], t})
+			default:
+				ok = false
+			}
+		}
+		if !ok {
+			return nil, nil, fmt.Errorf("fol: null in query head")
+		}
+		body := ren.ApplyAtoms(cq.Body)
+		for _, a := range body {
+			conj = append(conj, Atom{A: a})
+		}
+		var f Formula = And{Subs: conj}
+		// Existentials: body variables not renamed to answers.
+		seen := map[logic.Term]bool{}
+		for _, v := range answer {
+			seen[v] = true
+		}
+		vars := logic.VarsOf(body)
+		for i := len(vars) - 1; i >= 0; i-- {
+			if !seen[vars[i]] {
+				f = Exists{Var: vars[i], Sub: f}
+			}
+		}
+		disjuncts = append(disjuncts, f)
+	}
+	return Or{Subs: disjuncts}, answer, nil
+}
+
+// eq is the equality atom t1 = t2 used when aligning UCQ disjuncts.
+type eq struct {
+	l, r logic.Term
+}
+
+// FreeVars returns the variables among the two terms.
+func (f eq) FreeVars() []logic.Term {
+	var out []logic.Term
+	if f.l.IsVar() {
+		out = append(out, f.l)
+	}
+	if f.r.IsVar() && f.r != f.l {
+		out = append(out, f.r)
+	}
+	return out
+}
+
+// String renders t1 = t2.
+func (f eq) String() string { return f.l.String() + " = " + f.r.String() }
+
+func (f eq) eval(_ *storage.Instance, env logic.Subst) bool {
+	return env.Walk(f.l) == env.Walk(f.r)
+}
+
+// formulaConstants collects the constants mentioned by the formula, so that
+// answers ranging over them (e.g. head constants) are found even when they
+// do not occur in the instance.
+func formulaConstants(f Formula) []logic.Term {
+	seen := make(map[logic.Term]bool)
+	var out []logic.Term
+	var walk func(Formula)
+	add := func(t logic.Term) {
+		if t.IsConst() && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Atom:
+			for _, t := range g.A.Args {
+				add(t)
+			}
+		case And:
+			for _, s := range g.Subs {
+				walk(s)
+			}
+		case Or:
+			for _, s := range g.Subs {
+				walk(s)
+			}
+		case Not:
+			walk(g.Sub)
+		case Exists:
+			walk(g.Sub)
+		case ForAll:
+			walk(g.Sub)
+		case eq:
+			add(g.l)
+			add(g.r)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// Eval computes the answers ans(φ, D): all assignments of the answer
+// variables (over the active domain extended with the formula's constants)
+// satisfying the formula. Tuples containing labelled nulls are excluded when
+// filterNulls is set.
+func Eval(f Formula, answer []logic.Term, ins *storage.Instance, filterNulls bool) []storage.Tuple {
+	domain := activeDomain(ins)
+	inDomain := make(map[logic.Term]bool, len(domain))
+	for _, t := range domain {
+		inDomain[t] = true
+	}
+	for _, t := range formulaConstants(f) {
+		if !inDomain[t] {
+			inDomain[t] = true
+			domain = append(domain, t)
+		}
+	}
+	var out []storage.Tuple
+	seen := make(map[string]bool)
+	env := logic.NewSubst()
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(answer) {
+			if f.eval(ins, env) {
+				tuple := make(storage.Tuple, len(answer))
+				for j, v := range answer {
+					tuple[j] = env.Walk(v)
+				}
+				if filterNulls && tuple.HasNull() {
+					return
+				}
+				if k := tuple.Key(); !seen[k] {
+					seen[k] = true
+					out = append(out, tuple)
+				}
+			}
+			return
+		}
+		for _, c := range domain {
+			env.Bind(answer[i], c)
+			rec(i + 1)
+			delete(env, answer[i])
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Holds reports whether a sentence (no free variables) is true in the
+// instance.
+func Holds(f Formula, ins *storage.Instance) bool {
+	return f.eval(ins, logic.NewSubst())
+}

@@ -1,0 +1,213 @@
+package fol
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+func v(n string) logic.Term { return logic.NewVar(n) }
+func c(n string) logic.Term { return logic.NewConst(n) }
+func at(p string, args ...logic.Term) logic.Atom {
+	return logic.NewAtom(p, args...)
+}
+
+func inst(atoms ...logic.Atom) *storage.Instance {
+	return storage.MustFromAtoms(atoms)
+}
+
+func mustQ(src string) *query.CQ {
+	pq := parser.MustParseQuery(src)
+	return query.MustNew(pq.Head, pq.Body)
+}
+
+func TestAtomEval(t *testing.T) {
+	ins := inst(at("r", c("a"), c("b")))
+	f := Atom{A: at("r", c("a"), c("b"))}
+	if !Holds(f, ins) {
+		t.Error("ground atom in instance must hold")
+	}
+	if Holds(Atom{A: at("r", c("b"), c("a"))}, ins) {
+		t.Error("absent atom must not hold")
+	}
+}
+
+func TestConnectives(t *testing.T) {
+	ins := inst(at("p", c("a")), at("q", c("b")))
+	pa := Atom{A: at("p", c("a"))}
+	qa := Atom{A: at("q", c("a"))}
+	qb := Atom{A: at("q", c("b"))}
+	if !Holds(And{[]Formula{pa, qb}}, ins) {
+		t.Error("p(a) & q(b) must hold")
+	}
+	if Holds(And{[]Formula{pa, qa}}, ins) {
+		t.Error("p(a) & q(a) must fail")
+	}
+	if !Holds(Or{[]Formula{qa, qb}}, ins) {
+		t.Error("q(a) | q(b) must hold")
+	}
+	if !Holds(Not{qa}, ins) {
+		t.Error("!q(a) must hold")
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	ins := inst(at("p", c("a")), at("p", c("b")), at("q", c("a")))
+	px := Atom{A: at("p", v("X"))}
+	qx := Atom{A: at("q", v("X"))}
+	if !Holds(Exists{v("X"), qx}, ins) {
+		t.Error("exists X. q(X) must hold")
+	}
+	if !Holds(ForAll{v("X"), Or{[]Formula{px, qx}}}, ins) {
+		t.Error("forall X. p(X)|q(X) must hold over active domain {a,b}")
+	}
+	if Holds(ForAll{v("X"), qx}, ins) {
+		t.Error("forall X. q(X) must fail (b)")
+	}
+	// Negation under quantifier: exists X. p(X) & !q(X)  (witness b).
+	if !Holds(Exists{v("X"), And{[]Formula{px, Not{qx}}}}, ins) {
+		t.Error("exists X. p(X) & !q(X) must hold")
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := Exists{v("Y"), And{[]Formula{
+		Atom{A: at("r", v("X"), v("Y"))},
+		Atom{A: at("s", v("Y"), v("Z"))},
+	}}}
+	free := f.FreeVars()
+	if len(free) != 2 || free[0] != v("X") || free[1] != v("Z") {
+		t.Errorf("FreeVars = %v, want [X Z]", free)
+	}
+}
+
+func TestFromCQString(t *testing.T) {
+	q := mustQ(`q(X) :- r(X,Y), s(Y) .`)
+	f := FromCQ(q)
+	s := f.String()
+	if !strings.Contains(s, "exists Y") || !strings.Contains(s, "r(X, Y)") {
+		t.Errorf("FO reading = %s", s)
+	}
+	free := f.FreeVars()
+	if len(free) != 1 || free[0] != v("X") {
+		t.Errorf("free vars = %v", free)
+	}
+}
+
+// TestFOAgreesWithCQEval is the semantic cross-check: the formula-level
+// evaluation of a UCQ agrees with the database-style join evaluation.
+func TestFOAgreesWithCQEval(t *testing.T) {
+	ins := inst(
+		at("r", c("a"), c("b")), at("r", c("b"), c("cc")),
+		at("s", c("b")), at("s", c("cc")),
+	)
+	cases := []string{
+		`q(X) :- r(X,Y), s(Y) .`,
+		`q(X,Y) :- r(X,Y) .`,
+		`q(X) :- r(X,X) .`,
+		`q() :- s(b) .`,
+		`q(X) :- s(X) .`,
+	}
+	for _, src := range cases {
+		q := mustQ(src)
+		u := query.MustNewUCQ(q)
+		f, answer, err := FromUCQ(u)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		folTuples := Eval(f, answer, ins, false)
+		evalAns := eval.UCQ(u, ins, eval.Options{})
+		if len(folTuples) != evalAns.Len() {
+			t.Errorf("%s: FO eval %d tuples, join eval %d", src, len(folTuples), evalAns.Len())
+			continue
+		}
+		for _, tuple := range folTuples {
+			if !evalAns.Contains(tuple) {
+				t.Errorf("%s: FO-only tuple %v", src, tuple)
+			}
+		}
+	}
+}
+
+func TestFromUCQMultipleDisjuncts(t *testing.T) {
+	ins := inst(at("cat", c("tom")), at("dog", c("rex")))
+	u := query.MustNewUCQ(mustQ(`q(X) :- cat(X) .`), mustQ(`q(X) :- dog(X) .`))
+	f, answer, err := FromUCQ(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := Eval(f, answer, ins, false)
+	if len(tuples) != 2 {
+		t.Errorf("union answers = %v", tuples)
+	}
+}
+
+func TestFromUCQConstantHead(t *testing.T) {
+	ins := inst(at("r", c("a")))
+	u := query.MustNewUCQ(mustQ(`q("tag", X) :- r(X) .`))
+	f, answer, err := FromUCQ(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := Eval(f, answer, ins, false)
+	if len(tuples) != 1 || tuples[0][0] != c("tag") || tuples[0][1] != c("a") {
+		t.Errorf("answers = %v, want (tag, a)", tuples)
+	}
+}
+
+func TestFromUCQRepeatedHeadVar(t *testing.T) {
+	ins := inst(at("r", c("a"), c("b")))
+	u := query.MustNewUCQ(mustQ(`q(X,X) :- r(X,Y) .`))
+	f, answer, err := FromUCQ(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := Eval(f, answer, ins, false)
+	if len(tuples) != 1 || tuples[0][0] != tuples[0][1] {
+		t.Errorf("answers = %v, want diagonal", tuples)
+	}
+}
+
+func TestEvalFilterNulls(t *testing.T) {
+	ins := storage.NewInstance()
+	ins.InsertAtom(at("r", logic.NewNull("n1")))
+	ins.InsertAtom(at("r", c("a")))
+	u := query.MustNewUCQ(mustQ(`q(X) :- r(X) .`))
+	f, answer, _ := FromUCQ(u)
+	all := Eval(f, answer, ins, false)
+	filtered := Eval(f, answer, ins, true)
+	if len(all) != 2 || len(filtered) != 1 {
+		t.Errorf("all=%v filtered=%v", all, filtered)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := Not{Or{[]Formula{
+		Atom{A: at("p", v("X"))},
+		eq{v("X"), c("a")},
+	}}}
+	s := f.String()
+	if !strings.Contains(s, "!") || !strings.Contains(s, "X = a") {
+		t.Errorf("String = %q", s)
+	}
+	fa := ForAll{v("X"), Atom{A: at("p", v("X"))}}
+	if !strings.Contains(fa.String(), "forall X") {
+		t.Errorf("ForAll String = %q", fa.String())
+	}
+}
+
+func TestEmptyInstanceQuantifiers(t *testing.T) {
+	ins := storage.NewInstance()
+	// Over an empty active domain, exists is false and forall is true.
+	if Holds(Exists{v("X"), Atom{A: at("p", v("X"))}}, ins) {
+		t.Error("exists over empty domain must fail")
+	}
+	if !Holds(ForAll{v("X"), Atom{A: at("p", v("X"))}}, ins) {
+		t.Error("forall over empty domain must hold vacuously")
+	}
+}

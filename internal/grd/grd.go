@@ -1,0 +1,183 @@
+// Package grd implements the graph of rule dependencies (Baget, Leclère,
+// Mugnier & Salvat 2011), one of the previously known decidability tools the
+// paper compares the WR class against. A rule R2 depends on R1 when applying
+// R1 can trigger a new application of R2 — decided by a piece-unification
+// test between R1's head and R2's body. Sets with an acyclic GRD have
+// terminating (bounded) rewritings and chases.
+package grd
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/dependency"
+	"repro/internal/logic"
+)
+
+// Graph is a graph of rule dependencies: vertices are rules, and an edge
+// R1 → R2 states that R2 depends on R1.
+type Graph struct {
+	rules []*dependency.TGD
+	// adj[i] lists indexes j such that rule j depends on rule i.
+	adj map[int][]int
+}
+
+// Build computes the dependency graph of the set.
+func Build(set *dependency.Set) *Graph {
+	g := &Graph{rules: set.Rules, adj: make(map[int][]int)}
+	gen := logic.NewVarGen("grd")
+	for i, r1 := range set.Rules {
+		for j, r2 := range set.Rules {
+			if Depends(r1, r2, gen) {
+				g.adj[i] = append(g.adj[i], j)
+			}
+		}
+	}
+	for i := range g.adj {
+		sort.Ints(g.adj[i])
+	}
+	return g
+}
+
+// Depends reports whether r2 depends on r1: some atom of r2's body unifies
+// with some atom of r1's head such that existential head variables of r1
+// unify only with variables of r2 that could be mapped to the invented
+// nulls (not constants, not repeated-demand positions requiring equality
+// with frontier terms). This is the standard sufficient test by piece
+// unification on single atoms.
+func Depends(r1, r2 *dependency.TGD, gen *logic.VarGen) bool {
+	a := r1.Rename(gen)
+	b := r2.Rename(gen)
+	existHead := make(map[logic.Term]bool)
+	for _, v := range a.ExistentialHead() {
+		existHead[v] = true
+	}
+	frontierA := make(map[logic.Term]bool)
+	for _, v := range a.Distinguished() {
+		frontierA[v] = true
+	}
+	for _, h := range a.Head {
+		for _, bb := range b.Body {
+			u := logic.NewUnifier()
+			if !u.UnifyAtoms(h, bb) {
+				continue
+			}
+			ok := true
+			for e := range existHead {
+				for _, member := range u.ClassOf(e) {
+					if member == e {
+						continue
+					}
+					// A null invented for e cannot equal a constant or a
+					// frontier value of r1; unification demanding that is
+					// not a real trigger.
+					if member.IsRigid() || frontierA[member] || existHead[member] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DependsOn returns the indexes of rules depending on rule i.
+func (g *Graph) DependsOn(i int) []int { return g.adj[i] }
+
+// Acyclic reports whether the dependency graph has no directed cycle
+// (self-loops count as cycles).
+func (g *Graph) Acyclic() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.rules))
+	var visit func(int) bool
+	visit = func(i int) bool {
+		color[i] = gray
+		for _, j := range g.adj[i] {
+			switch color[j] {
+			case gray:
+				return false
+			case white:
+				if !visit(j) {
+					return false
+				}
+			}
+		}
+		color[i] = black
+		return true
+	}
+	for i := range g.rules {
+		if color[i] == white && !visit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Cycle returns the labels of one rule cycle if any exists.
+func (g *Graph) Cycle() []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.rules))
+	var path []int
+	var found []int
+	var visit func(int) bool
+	visit = func(i int) bool {
+		color[i] = gray
+		path = append(path, i)
+		for _, j := range g.adj[i] {
+			if color[j] == gray {
+				// Extract the cycle suffix from path.
+				for k, p := range path {
+					if p == j {
+						found = append([]int{}, path[k:]...)
+						return false
+					}
+				}
+				found = []int{j}
+				return false
+			}
+			if color[j] == white && !visit(j) {
+				return false
+			}
+		}
+		color[i] = black
+		path = path[:len(path)-1]
+		return true
+	}
+	for i := range g.rules {
+		if color[i] == white && !visit(i) {
+			break
+		}
+	}
+	labels := make([]string, len(found))
+	for i, idx := range found {
+		labels[i] = g.rules[idx].Label
+	}
+	return labels
+}
+
+// String renders the dependency edges by rule label.
+func (g *Graph) String() string {
+	var lines []string
+	for i := range g.rules {
+		for _, j := range g.adj[i] {
+			lines = append(lines, g.rules[i].Label+" -> "+g.rules[j].Label)
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,150 @@
+package logic
+
+import "testing"
+
+func facts(preds ...Atom) []Atom { return preds }
+
+func TestHomomorphismBasic(t *testing.T) {
+	src := []Atom{NewAtom("r", NewVar("X"), NewVar("Y"))}
+	tgt := facts(NewAtom("r", NewConst("a"), NewConst("b")))
+	h, ok := Homomorphism(src, tgt, HomOptions{})
+	if !ok {
+		t.Fatal("expected homomorphism")
+	}
+	if h.Apply(NewVar("X")) != NewConst("a") || h.Apply(NewVar("Y")) != NewConst("b") {
+		t.Errorf("h = %v", h)
+	}
+}
+
+func TestHomomorphismJoin(t *testing.T) {
+	// r(X,Y), s(Y,Z) into {r(a,b), s(b,c), s(d,e)}: Y must join on b.
+	src := []Atom{
+		NewAtom("r", NewVar("X"), NewVar("Y")),
+		NewAtom("s", NewVar("Y"), NewVar("Z")),
+	}
+	tgt := facts(
+		NewAtom("r", NewConst("a"), NewConst("b")),
+		NewAtom("s", NewConst("b"), NewConst("c")),
+		NewAtom("s", NewConst("d"), NewConst("e")),
+	)
+	h, ok := Homomorphism(src, tgt, HomOptions{})
+	if !ok {
+		t.Fatal("expected homomorphism")
+	}
+	if h.Apply(NewVar("Z")) != NewConst("c") {
+		t.Errorf("Z = %v, want c", h.Apply(NewVar("Z")))
+	}
+}
+
+func TestHomomorphismFailsWithoutJoin(t *testing.T) {
+	src := []Atom{
+		NewAtom("r", NewVar("X"), NewVar("Y")),
+		NewAtom("s", NewVar("Y"), NewVar("Z")),
+	}
+	tgt := facts(
+		NewAtom("r", NewConst("a"), NewConst("b")),
+		NewAtom("s", NewConst("c"), NewConst("d")),
+	)
+	if _, ok := Homomorphism(src, tgt, HomOptions{}); ok {
+		t.Error("no join value exists; must fail")
+	}
+}
+
+func TestHomomorphismConstantsRigid(t *testing.T) {
+	src := []Atom{NewAtom("r", NewConst("a"), NewVar("Y"))}
+	tgt := facts(NewAtom("r", NewConst("b"), NewConst("c")))
+	if _, ok := Homomorphism(src, tgt, HomOptions{}); ok {
+		t.Error("constant a cannot map to b")
+	}
+}
+
+func TestHomomorphismRepeatedVariable(t *testing.T) {
+	src := []Atom{NewAtom("r", NewVar("X"), NewVar("X"))}
+	tgt := facts(NewAtom("r", NewConst("a"), NewConst("b")), NewAtom("r", NewConst("c"), NewConst("c")))
+	h, ok := Homomorphism(src, tgt, HomOptions{})
+	if !ok {
+		t.Fatal("expected homomorphism via r(c,c)")
+	}
+	if h.Apply(NewVar("X")) != NewConst("c") {
+		t.Errorf("X = %v, want c", h.Apply(NewVar("X")))
+	}
+}
+
+func TestHomomorphismNullsRigidByDefault(t *testing.T) {
+	src := []Atom{NewAtom("r", NewNull("n1"))}
+	tgt := facts(NewAtom("r", NewConst("a")))
+	if _, ok := Homomorphism(src, tgt, HomOptions{}); ok {
+		t.Error("nulls are rigid unless MapNulls is set")
+	}
+	if _, ok := Homomorphism(src, tgt, HomOptions{MapNulls: true}); !ok {
+		t.Error("with MapNulls the null must map to a")
+	}
+}
+
+func TestHomomorphismMapNullsConsistency(t *testing.T) {
+	// Same null twice must map to the same value.
+	src := []Atom{NewAtom("r", NewNull("n"), NewNull("n"))}
+	tgt := facts(NewAtom("r", NewConst("a"), NewConst("b")))
+	if _, ok := Homomorphism(src, tgt, HomOptions{MapNulls: true}); ok {
+		t.Error("one null cannot map to both a and b")
+	}
+	tgt2 := facts(NewAtom("r", NewConst("a"), NewConst("a")))
+	if _, ok := Homomorphism(src, tgt2, HomOptions{MapNulls: true}); !ok {
+		t.Error("null consistently mapping to a must succeed")
+	}
+}
+
+func TestHomomorphismFixed(t *testing.T) {
+	src := []Atom{NewAtom("r", NewVar("X"), NewVar("Y"))}
+	tgt := facts(
+		NewAtom("r", NewConst("a"), NewConst("b")),
+		NewAtom("r", NewConst("c"), NewConst("d")),
+	)
+	fixed := Subst{NewVar("X"): NewConst("c")}
+	h, ok := Homomorphism(src, tgt, HomOptions{Fixed: fixed})
+	if !ok {
+		t.Fatal("expected homomorphism extending X->c")
+	}
+	if h.Apply(NewVar("Y")) != NewConst("d") {
+		t.Errorf("Y = %v, want d", h.Apply(NewVar("Y")))
+	}
+	fixedBad := Subst{NewVar("X"): NewConst("z")}
+	if _, ok := Homomorphism(src, tgt, HomOptions{Fixed: fixedBad}); ok {
+		t.Error("pinned X->z admits no extension")
+	}
+}
+
+func TestAllHomomorphisms(t *testing.T) {
+	src := []Atom{NewAtom("r", NewVar("X"))}
+	tgt := facts(NewAtom("r", NewConst("a")), NewAtom("r", NewConst("b")), NewAtom("r", NewConst("c")))
+	all := AllHomomorphisms(src, tgt, HomOptions{})
+	if len(all) != 3 {
+		t.Fatalf("got %d homomorphisms, want 3", len(all))
+	}
+	limited := AllHomomorphisms(src, tgt, HomOptions{Limit: 2})
+	if len(limited) != 2 {
+		t.Fatalf("limit 2 returned %d", len(limited))
+	}
+}
+
+func TestHomomorphismEmptySource(t *testing.T) {
+	if _, ok := Homomorphism(nil, facts(NewAtom("r", NewConst("a"))), HomOptions{}); !ok {
+		t.Error("empty source has the empty homomorphism")
+	}
+}
+
+func TestHomomorphismComposition(t *testing.T) {
+	// If h1: A->B and h2: B->C exist, then some A->C exists (transitivity
+	// sanity check over concrete instances).
+	a := []Atom{NewAtom("e", NewVar("X"), NewVar("Y"))}
+	b := facts(NewAtom("e", NewConst("u"), NewConst("v")))
+	c := facts(NewAtom("e", NewConst("p"), NewConst("q")))
+	if _, ok := Homomorphism(a, b, HomOptions{}); !ok {
+		t.Fatal("A->B missing")
+	}
+	// b's constants don't map into c directly (constants rigid), but the
+	// variable query a maps into c too.
+	if _, ok := Homomorphism(a, c, HomOptions{}); !ok {
+		t.Error("A->C must exist")
+	}
+}

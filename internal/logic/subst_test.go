@@ -1,0 +1,131 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSubstBindApply(t *testing.T) {
+	s := NewSubst()
+	s.Bind(NewVar("X"), NewVar("Y"))
+	s.Bind(NewVar("Y"), NewConst("a"))
+	if got := s.Apply(NewVar("X")); got != NewConst("a") {
+		t.Errorf("chained Apply = %v, want a", got)
+	}
+	if got := s.Apply(NewVar("Z")); got != NewVar("Z") {
+		t.Errorf("unbound Apply = %v, want Z", got)
+	}
+	if got := s.Apply(NewConst("c")); got != NewConst("c") {
+		t.Errorf("constant Apply = %v, want c", got)
+	}
+}
+
+func TestSubstBindSelfNoop(t *testing.T) {
+	s := NewSubst()
+	s.Bind(NewVar("X"), NewVar("X"))
+	if len(s) != 0 {
+		t.Error("self-binding must be a no-op")
+	}
+}
+
+func TestSubstBindNonVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("binding a constant must panic")
+		}
+	}()
+	NewSubst().Bind(NewConst("a"), NewVar("X"))
+}
+
+func TestSubstApplyAtom(t *testing.T) {
+	s := Subst{NewVar("X"): NewConst("a")}
+	a := NewAtom("r", NewVar("X"), NewVar("Y"), NewConst("b"))
+	got := s.ApplyAtom(a)
+	want := NewAtom("r", NewConst("a"), NewVar("Y"), NewConst("b"))
+	if !got.Equal(want) {
+		t.Errorf("ApplyAtom = %v, want %v", got, want)
+	}
+	// Original untouched.
+	if a.Args[0] != NewVar("X") {
+		t.Error("ApplyAtom must not mutate its input")
+	}
+}
+
+func TestSubstCompose(t *testing.T) {
+	s := Subst{NewVar("X"): NewVar("Y")}
+	u := Subst{NewVar("Y"): NewConst("a"), NewVar("Z"): NewConst("b")}
+	c := s.Compose(u)
+	if got := c.Apply(NewVar("X")); got != NewConst("a") {
+		t.Errorf("compose X = %v, want a", got)
+	}
+	if got := c.Apply(NewVar("Z")); got != NewConst("b") {
+		t.Errorf("compose Z = %v, want b", got)
+	}
+}
+
+func TestSubstRestrict(t *testing.T) {
+	s := Subst{NewVar("X"): NewVar("Y"), NewVar("Y"): NewConst("a")}
+	r := s.Restrict([]Term{NewVar("X")})
+	if len(r) != 1 || r[NewVar("X")] != NewConst("a") {
+		t.Errorf("Restrict = %v, want {X->a} fully resolved", r)
+	}
+}
+
+func TestSubstCloneIndependent(t *testing.T) {
+	s := Subst{NewVar("X"): NewConst("a")}
+	c := s.Clone()
+	c[NewVar("X")] = NewConst("b")
+	if s[NewVar("X")] != NewConst("a") {
+		t.Error("Clone must be independent")
+	}
+}
+
+func TestSubstStringDeterministic(t *testing.T) {
+	s := Subst{NewVar("B"): NewConst("b"), NewVar("A"): NewConst("a")}
+	if got := s.String(); got != "{A->a, B->b}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestVarGenFreshness(t *testing.T) {
+	g := NewVarGen("q")
+	seen := map[Term]bool{}
+	for i := 0; i < 100; i++ {
+		v := g.FreshVar()
+		if seen[v] {
+			t.Fatalf("duplicate fresh var %v", v)
+		}
+		seen[v] = true
+		if !strings.Contains(v.Name, "#") {
+			t.Fatalf("fresh var %q must contain '#' to avoid parser collisions", v.Name)
+		}
+	}
+	n := g.FreshNull()
+	if !n.IsNull() {
+		t.Error("FreshNull must produce a null")
+	}
+	if g.Count() != 101 {
+		t.Errorf("Count = %d, want 101", g.Count())
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	atoms := []Atom{
+		NewAtom("r", NewVar("X"), NewVar("Y")),
+		NewAtom("s", NewVar("X"), NewConst("a")),
+	}
+	g := NewVarGen("t")
+	renamed, ren := RenameApart(atoms, g)
+	if renamed[0].Args[0] == NewVar("X") {
+		t.Error("X must be renamed")
+	}
+	if renamed[0].Args[0] != renamed[1].Args[0] {
+		t.Error("shared variable X must rename consistently across atoms")
+	}
+	if renamed[1].Args[1] != NewConst("a") {
+		t.Error("constants must be preserved")
+	}
+	if ren.Apply(NewVar("X")) != renamed[0].Args[0] {
+		t.Error("returned renaming must map X to its image")
+	}
+}

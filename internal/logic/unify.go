@@ -1,0 +1,216 @@
+package logic
+
+import "sort"
+
+// Unifier incrementally computes a most-general unifier over flat terms
+// using union-find. Constants and nulls are rigid: two distinct rigid terms
+// never unify, and a class contains at most one rigid term, which becomes
+// its representative.
+//
+// Beyond the substitution itself, Unifier exposes the equivalence classes of
+// the computed MGU. The rewriting engine needs the classes to check the
+// piece-unification applicability conditions on existential variables.
+type Unifier struct {
+	parent map[Term]Term
+	rank   map[Term]int
+	failed bool
+}
+
+// NewUnifier returns an empty unifier (the identity substitution).
+func NewUnifier() *Unifier {
+	return &Unifier{parent: make(map[Term]Term), rank: make(map[Term]int)}
+}
+
+// Clone returns an independent copy of the unifier's current state.
+func (u *Unifier) Clone() *Unifier {
+	c := &Unifier{
+		parent: make(map[Term]Term, len(u.parent)),
+		rank:   make(map[Term]int, len(u.rank)),
+		failed: u.failed,
+	}
+	for k, v := range u.parent {
+		c.parent[k] = v
+	}
+	for k, v := range u.rank {
+		c.rank[k] = v
+	}
+	return c
+}
+
+// Failed reports whether some earlier Union attempted to merge two distinct
+// rigid terms. Once failed, the unifier stays failed.
+func (u *Unifier) Failed() bool { return u.failed }
+
+// Find returns the representative of t's class. Rigid terms are always
+// representatives of their own class.
+func (u *Unifier) Find(t Term) Term {
+	p, ok := u.parent[t]
+	if !ok || p == t {
+		return t
+	}
+	root := u.Find(p)
+	u.parent[t] = root
+	return root
+}
+
+// Union merges the classes of a and b, returning false (and marking the
+// unifier failed) if that would identify two distinct rigid terms.
+func (u *Unifier) Union(a, b Term) bool {
+	if u.failed {
+		return false
+	}
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return true
+	}
+	if ra.IsRigid() && rb.IsRigid() {
+		u.failed = true
+		return false
+	}
+	// Rigid representative wins so Find always surfaces it.
+	switch {
+	case ra.IsRigid():
+		u.parent[rb] = ra
+	case rb.IsRigid():
+		u.parent[ra] = rb
+	default:
+		if u.rank[ra] < u.rank[rb] {
+			ra, rb = rb, ra
+		}
+		u.parent[rb] = ra
+		if u.rank[ra] == u.rank[rb] {
+			u.rank[ra]++
+		}
+	}
+	return true
+}
+
+// UnifyAtoms unifies a and b argument-wise, returning false if their
+// predicates or arities differ or a rigid clash occurs.
+func (u *Unifier) UnifyAtoms(a, b Atom) bool {
+	if u.failed || a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+			u.failed = true
+		}
+		return false
+	}
+	for i := range a.Args {
+		if !u.Union(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Classes returns the non-trivial equivalence classes keyed by
+// representative. Each class slice includes the representative and is sorted
+// deterministically (rigid terms first, then by kind and name).
+func (u *Unifier) Classes() map[Term][]Term {
+	out := make(map[Term][]Term)
+	seen := make(map[Term]bool)
+	for t := range u.parent {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		root := u.Find(t)
+		out[root] = append(out[root], t)
+	}
+	for root, members := range out {
+		if !containsTerm(members, root) {
+			members = append(members, root)
+		}
+		sort.Slice(members, func(i, j int) bool {
+			a, b := members[i], members[j]
+			if a.IsRigid() != b.IsRigid() {
+				return a.IsRigid()
+			}
+			if a.Kind != b.Kind {
+				return a.Kind < b.Kind
+			}
+			return a.Name < b.Name
+		})
+		out[root] = members
+	}
+	return out
+}
+
+// ClassOf returns every term known to the unifier that is equivalent to t,
+// including t itself.
+func (u *Unifier) ClassOf(t Term) []Term {
+	root := u.Find(t)
+	out := []Term{}
+	seen := map[Term]bool{}
+	for k := range u.parent {
+		if u.Find(k) == root && !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	if !seen[root] {
+		out = append(out, root)
+	}
+	if !seen[t] && t != root {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Subst extracts the substitution of the computed MGU: every variable in a
+// class maps to the class representative. Representatives are chosen as the
+// class's rigid term when present, otherwise an arbitrary but deterministic
+// class member (union-find root).
+func (u *Unifier) Subst() Subst {
+	s := NewSubst()
+	if u.failed {
+		return s
+	}
+	for t := range u.parent {
+		if t.IsVar() {
+			if root := u.Find(t); root != t {
+				s[t] = root
+			}
+		}
+	}
+	return s
+}
+
+func containsTerm(ts []Term, t Term) bool {
+	for _, u := range ts {
+		if u == t {
+			return true
+		}
+	}
+	return false
+}
+
+// MGU computes the most-general unifier of atoms a and b, returning the
+// substitution and true on success.
+func MGU(a, b Atom) (Subst, bool) {
+	u := NewUnifier()
+	if !u.UnifyAtoms(a, b) {
+		return nil, false
+	}
+	return u.Subst(), true
+}
+
+// MGUAtomLists unifies the i-th atom of as with the i-th atom of bs for all
+// i, returning the joint MGU.
+func MGUAtomLists(as, bs []Atom) (Subst, bool) {
+	if len(as) != len(bs) {
+		return nil, false
+	}
+	u := NewUnifier()
+	for i := range as {
+		if !u.UnifyAtoms(as[i], bs[i]) {
+			return nil, false
+		}
+	}
+	return u.Subst(), true
+}

@@ -1,0 +1,131 @@
+// Package mapping implements the OBDA mapping layer the paper describes in
+// §1: "an additional layer of information between the ontology and the data
+// sources ... relating the two layers through mapping assertions". Mappings
+// are GAV (global-as-view) assertions: a conjunctive query over the source
+// schema populates one ontology predicate. Applying a mapping set to a
+// source database materializes the virtual ABox the ontology reasons over.
+//
+// Surface syntax reuses the query notation, with the ontology atom as head:
+//
+//	person(X) :- employees(X, Dept, Salary) .
+//	worksFor(X, D) :- employees(X, D, S) .
+//	manager(X) :- employees(X, D, S), managers_table(X) .
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Assertion is one GAV mapping: the head is the ontology atom, the body a
+// CQ over the source schema.
+type Assertion struct {
+	Query *query.CQ
+}
+
+// String renders the assertion in surface syntax.
+func (a Assertion) String() string { return a.Query.String() }
+
+// Set is an ordered collection of mapping assertions.
+type Set struct {
+	Assertions []Assertion
+}
+
+// Parse parses a mapping program: one or more query-shaped clauses.
+func Parse(src string) (*Set, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Rules) != 0 || len(prog.Facts) != 0 {
+		return nil, fmt.Errorf("mapping: only ':-' assertions allowed, found %d rules and %d facts",
+			len(prog.Rules), len(prog.Facts))
+	}
+	if len(prog.Queries) == 0 {
+		return nil, fmt.Errorf("mapping: empty mapping program")
+	}
+	s := &Set{}
+	for _, pq := range prog.Queries {
+		q, err := query.New(pq.Head, pq.Body)
+		if err != nil {
+			return nil, fmt.Errorf("mapping: %w", err)
+		}
+		s.Assertions = append(s.Assertions, Assertion{Query: q})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(src string) *Set {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Validate checks that source and target vocabularies do not overlap: a
+// predicate used in some assertion head must not occur in any assertion
+// body (GAV mappings are not recursive).
+func (s *Set) Validate() error {
+	heads := make(map[string]bool)
+	for _, a := range s.Assertions {
+		heads[a.Query.Head.Pred] = true
+	}
+	for _, a := range s.Assertions {
+		for _, b := range a.Query.Body {
+			if heads[b.Pred] {
+				return fmt.Errorf("mapping: predicate %s used both as target (head) and source (body)", b.Pred)
+			}
+		}
+	}
+	return nil
+}
+
+// TargetPredicates returns the ontology predicates the mappings populate.
+func (s *Set) TargetPredicates() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, a := range s.Assertions {
+		if !seen[a.Query.Head.Pred] {
+			seen[a.Query.Head.Pred] = true
+			out = append(out, a.Query.Head.Pred)
+		}
+	}
+	return out
+}
+
+// Apply materializes the virtual ABox: every assertion is evaluated over
+// the source instance and its head tuples inserted into a fresh ontology
+// instance.
+func (s *Set) Apply(source *storage.Instance) (*storage.Instance, error) {
+	out := storage.NewInstance()
+	for _, a := range s.Assertions {
+		answers := eval.CQ(a.Query, source, eval.Options{})
+		for _, tuple := range answers.Tuples() {
+			atom := a.Query.Head.Clone()
+			atom.Args = append(atom.Args[:0], tuple...)
+			if _, err := out.Insert(atom); err != nil {
+				return nil, fmt.Errorf("mapping %s: %w", a, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders all assertions, one per line.
+func (s *Set) String() string {
+	parts := make([]string, len(s.Assertions))
+	for i, a := range s.Assertions {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, "\n")
+}

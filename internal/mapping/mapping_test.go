@@ -1,0 +1,119 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/storage"
+)
+
+func c(n string) logic.Term { return logic.NewConst(n) }
+func at(p string, args ...logic.Term) logic.Atom {
+	return logic.NewAtom(p, args...)
+}
+
+func sourceDB() *storage.Instance {
+	return storage.MustFromAtoms([]logic.Atom{
+		at("employees", c("ann"), c("sales"), c("100")),
+		at("employees", c("bob"), c("eng"), c("120")),
+		at("managers_table", c("ann")),
+	})
+}
+
+func TestParseAndApply(t *testing.T) {
+	m := MustParse(`
+person(X) :- employees(X, D, S) .
+worksFor(X, D) :- employees(X, D, S) .
+manager(X) :- employees(X, D, S), managers_table(X) .
+`)
+	if len(m.Assertions) != 3 {
+		t.Fatalf("assertions = %d", len(m.Assertions))
+	}
+	abox, err := m.Apply(sourceDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abox.Relation("person").Len() != 2 {
+		t.Errorf("person = %v", abox.Relation("person").Tuples())
+	}
+	if !abox.ContainsAtom(at("worksFor", c("ann"), c("sales"))) {
+		t.Error("missing worksFor(ann, sales)")
+	}
+	if abox.Relation("manager").Len() != 1 {
+		t.Errorf("manager = %v", abox.Relation("manager").Tuples())
+	}
+	// Source relations must not leak into the ABox.
+	if abox.Relation("employees") != nil {
+		t.Error("source schema leaked into the ABox")
+	}
+}
+
+func TestParseRejectsRulesAndFacts(t *testing.T) {
+	if _, err := Parse(`p(X) -> q(X) .`); err == nil {
+		t.Error("rules must be rejected")
+	}
+	if _, err := Parse(`p(a) .`); err == nil {
+		t.Error("facts must be rejected")
+	}
+	if _, err := Parse(``); err == nil {
+		t.Error("empty program must be rejected")
+	}
+}
+
+func TestValidateRejectsRecursion(t *testing.T) {
+	_, err := Parse(`
+person(X) :- employees(X, D) .
+vip(X) :- person(X) .
+`)
+	if err == nil || !strings.Contains(err.Error(), "person") {
+		t.Errorf("head-in-body must be rejected, got %v", err)
+	}
+}
+
+func TestTargetPredicates(t *testing.T) {
+	m := MustParse(`
+person(X) :- emp(X) .
+person(X) :- contractor(X) .
+dept(D) :- emp2(X, D) .
+`)
+	got := m.TargetPredicates()
+	if len(got) != 2 || got[0] != "person" || got[1] != "dept" {
+		t.Errorf("TargetPredicates = %v", got)
+	}
+}
+
+func TestApplyWithConstantsInHead(t *testing.T) {
+	m := MustParse(`tagged(X, "src1") :- emp(X) .`)
+	src := storage.MustFromAtoms([]logic.Atom{at("emp", c("ann"))})
+	abox, err := m.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !abox.ContainsAtom(at("tagged", c("ann"), c("src1"))) {
+		t.Errorf("constant head argument lost: %v", abox)
+	}
+}
+
+func TestApplyDeduplicates(t *testing.T) {
+	m := MustParse(`person(X) :- emp(X, D) .`)
+	src := storage.MustFromAtoms([]logic.Atom{
+		at("emp", c("ann"), c("sales")),
+		at("emp", c("ann"), c("eng")), // ann twice via different depts
+	})
+	abox, err := m.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abox.Relation("person").Len() != 1 {
+		t.Errorf("person must be deduplicated: %v", abox.Relation("person").Tuples())
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	m := MustParse(`person(X) :- emp(X, D) .`)
+	again := MustParse(m.String())
+	if again.String() != m.String() {
+		t.Errorf("round trip mismatch: %q vs %q", m.String(), again.String())
+	}
+}

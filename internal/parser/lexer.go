@@ -1,0 +1,274 @@
+// Package parser implements the surface syntax of the system: a Datalog±
+// notation for TGDs, conjunctive queries and ground facts.
+//
+//	% a comment runs to end of line
+//	parent(X,Y), parent(Y,Z) -> grandparent(X,Z) .     TGD
+//	person(X) -> hasParent(X,Y), person(Y) .            TGD, Y existential
+//	q(X) :- grandparent(X, "bob") .                     conjunctive query
+//	person(alice) .                                     fact
+//
+// Variables begin with an uppercase letter or '_'; constants are lowercase
+// identifiers, numbers, or double-quoted strings. Several query clauses with
+// the same head predicate and arity form a union of conjunctive queries.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF       tokenKind = iota
+	tokIdent               // lowercase identifier (predicate or constant)
+	tokVariable            // uppercase or _ identifier
+	tokString              // double-quoted constant
+	tokNumber              // numeric constant
+	tokLParen              // (
+	tokRParen              // )
+	tokComma               // ,
+	tokPeriod              // .
+	tokArrow               // ->
+	tokImpliedBy           // :-
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVariable:
+		return "variable"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPeriod:
+		return "'.'"
+	case tokArrow:
+		return "'->'"
+	case tokImpliedBy:
+		return "':-'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is a lexical token with source position (1-based line and column).
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a parse error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer produces tokens from input text.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	b := l.src[l.pos]
+	l.pos++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+// next returns the next token, skipping whitespace and comments.
+func (l *lexer) next() (token, *Error) {
+	for {
+		b, ok := l.peekByte()
+		if !ok {
+			return token{kind: tokEOF, line: l.line, col: l.col}, nil
+		}
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			l.advance()
+		case b == '%':
+			for {
+				b, ok := l.peekByte()
+				if !ok || b == '\n' {
+					break
+				}
+				_ = b
+				l.advance()
+			}
+		case b == '#': // alternative comment marker
+			for {
+				b, ok := l.peekByte()
+				if !ok || b == '\n' {
+					break
+				}
+				_ = b
+				l.advance()
+			}
+		default:
+			return l.lexToken()
+		}
+	}
+}
+
+func (l *lexer) lexToken() (token, *Error) {
+	line, col := l.line, l.col
+	b := l.src[l.pos]
+	switch {
+	case b == '(':
+		l.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case b == ')':
+		l.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case b == ',':
+		l.advance()
+		return token{tokComma, ",", line, col}, nil
+	case b == '.':
+		l.advance()
+		return token{tokPeriod, ".", line, col}, nil
+	case b == '-':
+		l.advance()
+		if nb, ok := l.peekByte(); ok && nb == '>' {
+			l.advance()
+			return token{tokArrow, "->", line, col}, nil
+		}
+		return token{}, l.errorf(line, col, "expected '->' after '-'")
+	case b == ':':
+		l.advance()
+		if nb, ok := l.peekByte(); ok && nb == '-' {
+			l.advance()
+			return token{tokImpliedBy, ":-", line, col}, nil
+		}
+		return token{}, l.errorf(line, col, "expected ':-' after ':'")
+	case b == '"':
+		return l.lexString(line, col)
+	case b >= '0' && b <= '9':
+		return l.lexNumber(line, col)
+	case isIdentStart(rune(b)):
+		return l.lexIdent(line, col)
+	default:
+		return token{}, l.errorf(line, col, "unexpected character %q", string(b))
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}
+
+func (l *lexer) lexIdent(line, col int) (token, *Error) {
+	var b strings.Builder
+	for {
+		c, ok := l.peekByte()
+		if !ok || !isIdentRune(rune(c)) {
+			break
+		}
+		b.WriteByte(l.advance())
+	}
+	text := b.String()
+	first := rune(text[0])
+	if unicode.IsUpper(first) || first == '_' {
+		return token{tokVariable, text, line, col}, nil
+	}
+	return token{tokIdent, text, line, col}, nil
+}
+
+func (l *lexer) lexNumber(line, col int) (token, *Error) {
+	var b strings.Builder
+	for {
+		c, ok := l.peekByte()
+		if !ok || !(c >= '0' && c <= '9' || c == '.') {
+			break
+		}
+		if c == '.' {
+			// A period directly after digits could end a clause; only
+			// consume it as part of the number when followed by a digit.
+			if l.pos+1 >= len(l.src) || l.src[l.pos+1] < '0' || l.src[l.pos+1] > '9' {
+				break
+			}
+		}
+		b.WriteByte(l.advance())
+	}
+	return token{tokNumber, b.String(), line, col}, nil
+}
+
+func (l *lexer) lexString(line, col int) (token, *Error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return token{}, l.errorf(line, col, "unterminated string")
+		}
+		if c == '"' {
+			l.advance()
+			return token{tokString, b.String(), line, col}, nil
+		}
+		if c == '\\' {
+			l.advance()
+			esc, ok := l.peekByte()
+			if !ok {
+				return token{}, l.errorf(line, col, "unterminated escape in string")
+			}
+			switch esc {
+			case '"', '\\':
+				b.WriteByte(l.advance())
+			case 'n':
+				l.advance()
+				b.WriteByte('\n')
+			case 't':
+				l.advance()
+				b.WriteByte('\t')
+			default:
+				return token{}, l.errorf(l.line, l.col, "unknown escape \\%s", string(esc))
+			}
+			continue
+		}
+		b.WriteByte(l.advance())
+	}
+}

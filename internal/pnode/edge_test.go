@@ -1,0 +1,98 @@
+package pnode
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func TestZeroArityPnode(t *testing.T) {
+	set := parser.MustParseRules(`alarm() -> alert() . alert() -> alarm() .`)
+	res := Check(set)
+	if !res.Complete {
+		t.Fatal("tiny graph must complete")
+	}
+	if !res.WR {
+		t.Errorf("propositional loop has no existential danger: %v", res.Violations)
+	}
+}
+
+func TestConstantsInHeads(t *testing.T) {
+	// Constants flow into P-atoms and block unification mismatches.
+	set := parser.MustParseRules(`
+p(X) -> q(X, "on") .
+q(X, "off") -> r(X) .
+r(X) -> p(X) .
+`)
+	res := Check(set)
+	if !res.WR {
+		t.Errorf("constant mismatch breaks the loop; must be WR: %v", res.Violations)
+	}
+	// With matching constants the loop is still harmless (no existential,
+	// no split, no bound loss).
+	set2 := parser.MustParseRules(`
+p(X) -> q(X, "on") .
+q(X, "on") -> r(X) .
+r(X) -> p(X) .
+`)
+	if res2 := Check(set2); !res2.WR {
+		t.Errorf("full-TGD loop must be WR: %v", res2.Violations)
+	}
+}
+
+func TestMultiHeadExpansion(t *testing.T) {
+	// Multi-head rules expand per head atom.
+	set := parser.MustParseRules(`
+emp(X) -> worksFor(X,Y), dept(Y) .
+worksFor(X,Y) -> emp(X) .
+`)
+	res := Check(set)
+	if !res.Complete {
+		t.Fatal("must complete")
+	}
+	if !res.WR {
+		t.Errorf("harmless existential loop must be WR: %v", res.Violations)
+	}
+	g := res.Graph
+	if g.FindNode("worksFor(x1, x2)") == nil || g.FindNode("dept(x1)") == nil {
+		t.Error("both head atoms must seed generic nodes")
+	}
+}
+
+func TestTransitiveClosureRejected(t *testing.T) {
+	// Regression for the soundness bug found during development: the
+	// transitive-closure pattern is not FO-rewritable and must not be WR.
+	set := parser.MustParseRules(`
+parent(X,Y) -> ancestor(X,Y) .
+parent(X,Y), ancestor(Y,Z) -> ancestor(X,Z) .
+`)
+	res := Check(set)
+	if res.WR {
+		t.Fatal("transitive closure must not be certified WR")
+	}
+	// The right-linear variant diverges the same way.
+	set2 := parser.MustParseRules(`
+parent(X,Y) -> ancestor(X,Y) .
+ancestor(X,Y), parent(Y,Z) -> ancestor(X,Z) .
+`)
+	if Check(set2).WR {
+		t.Fatal("right-linear transitive closure must not be certified WR")
+	}
+}
+
+func TestUniversityIsWRRegression(t *testing.T) {
+	// Guard against over-aggressive d/m/s labelling: the 22-rule
+	// university ontology must remain WR.
+	src := `
+fullProfessor(X) -> professor(X) .
+professor(X) -> faculty(X) .
+teacherOf(X,Y) -> faculty(X) .
+teacherOf(X,Y) -> course(Y) .
+professor(X) -> teacherOf(X,C) .
+takesCourse(X,C), teacherOf(Y,C) -> taughtBy(X,Y) .
+`
+	res := Check(parser.MustParseRules(src))
+	if !res.WR {
+		t.Errorf("university core must be WR: %v", res.Violations)
+	}
+}

@@ -1,0 +1,62 @@
+package posgraph
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func TestZeroArityPredicates(t *testing.T) {
+	set := parser.MustParseRules(`alarm(), sensor(X) -> alert(X) . alert(X) -> log() .`)
+	res := Check(set)
+	if !res.Exact {
+		t.Fatal("rules are simple")
+	}
+	g := res.Graph
+	if !g.HasNode(pos("alert", 0)) || !g.HasNode(pos("log", 0)) {
+		t.Error("zero-arity and unary heads must both appear")
+	}
+	if !res.SWR {
+		t.Errorf("acyclic set must be SWR: %v", res.Violations)
+	}
+}
+
+func TestMultiHeadBestEffort(t *testing.T) {
+	// Multi-atom heads are outside the simple fragment; Build must degrade
+	// gracefully (every head atom considered) and Check must not certify.
+	set := parser.MustParseRules(`emp(X) -> worksFor(X,Y), dept(Y) .`)
+	g := Build(set)
+	if g.Exact {
+		t.Error("multi-head input is not exact")
+	}
+	if !g.HasNode(pos("worksFor", 0)) || !g.HasNode(pos("dept", 0)) {
+		t.Error("both head atoms must seed nodes")
+	}
+	if Check(set).SWR {
+		t.Error("non-simple set must not be certified SWR")
+	}
+}
+
+func TestSelfRecursiveLinearChainLabels(t *testing.T) {
+	// a(X,Y) -> a(Y,Z): Z existential head; traced-edge structure.
+	set := parser.MustParseRules(`a(X,Y) -> a(Y,Z) .`)
+	res := Check(set)
+	if !res.SWR {
+		t.Errorf("linear self-recursion must be SWR: %v", res.Violations)
+	}
+	// a[ ] -> a[ ] via (a); a[1]: head position 1 holds Y (distinguished).
+	if _, ok := res.Graph.EdgeLabel(pos("a", 0), pos("a", 0)); !ok {
+		t.Error("missing generic self-loop")
+	}
+}
+
+func TestDanglingBodyPredicates(t *testing.T) {
+	// Body predicates never produced by any head are leaves.
+	set := parser.MustParseRules(`src1(X), src2(X,Y) -> out(X) .`)
+	g := Build(set)
+	for _, e := range g.Edges() {
+		if e.From.Rel == "src1" || e.From.Rel == "src2" {
+			t.Errorf("source relations must have no outgoing edges: %v", e)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package posgraph
+
+import (
+	"testing"
+
+	"repro/internal/dependency"
+	"repro/internal/parser"
+)
+
+func pos(rel string, idx int) dependency.Position {
+	return dependency.Position{Rel: rel, Idx: idx}
+}
+
+// example1 is the paper's Example 1 / Figure 1 rule set.
+func example1() *dependency.Set {
+	return parser.MustParseRules(`
+s(Y1,Y2,Y3), t(Y4) -> r(Y1,Y3) .
+v(Y1,Y2), q(Y2) -> s(Y1,Y3,Y2) .
+r(Y1,Y2) -> v(Y1,Y2) .
+`)
+}
+
+// example2 is the paper's Example 2 / Figure 2 rule set (not simple).
+func example2() *dependency.Set {
+	return parser.MustParseRules(`
+t(Y1,Y2), r(Y3,Y4) -> s(Y1,Y3,Y2) .
+s(Y1,Y1,Y2) -> r(Y2,Y3) .
+`)
+}
+
+func TestPaperExample1Nodes(t *testing.T) {
+	g := Build(example1())
+	if !g.Exact {
+		t.Fatal("Example 1 is simple; graph must be exact")
+	}
+	// Figure 1 shows r[ ], s[ ], v[ ], t[ ], s[2], q[ ]; Definition 4 point
+	// 1(b) additionally yields t[1] for the existential body variable Y4.
+	want := []dependency.Position{
+		pos("r", 0), pos("s", 0), pos("v", 0), pos("t", 0),
+		pos("s", 2), pos("q", 0), pos("t", 1),
+	}
+	for _, p := range want {
+		if !g.HasNode(p) {
+			t.Errorf("missing node %v", p)
+		}
+	}
+	if n := len(g.Nodes()); n != len(want) {
+		t.Errorf("node count = %d, want %d: %v", n, len(want), g.Nodes())
+	}
+}
+
+func TestPaperExample1Edges(t *testing.T) {
+	g := Build(example1())
+	type e struct {
+		from, to dependency.Position
+		label    Label
+	}
+	wantEdges := []e{
+		// r[ ] via R1 (head r(Y1,Y3); body s(Y1,Y2,Y3), t(Y4)).
+		{pos("r", 0), pos("s", 0), 0}, // (a), no missing for s-atom
+		{pos("r", 0), pos("s", 2), 0}, // (b) Y2 existential at s[2]
+		{pos("r", 0), pos("t", 0), M}, // (a), Y1,Y3 missing
+		{pos("r", 0), pos("t", 1), M}, // (b) Y4 at t[1], Y1,Y3 missing
+		// s[ ] via R2 (head s(Y1,Y3,Y2); body v(Y1,Y2), q(Y2)).
+		{pos("s", 0), pos("v", 0), 0}, // (a), no missing
+		{pos("s", 0), pos("q", 0), M}, // (a), Y1 missing
+		// v[ ] via R3 (head v(Y1,Y2); body r(Y1,Y2)).
+		{pos("v", 0), pos("r", 0), 0},
+	}
+	for _, w := range wantEdges {
+		l, ok := g.EdgeLabel(w.from, w.to)
+		if !ok {
+			t.Errorf("missing edge %v -> %v", w.from, w.to)
+			continue
+		}
+		if l != w.label {
+			t.Errorf("edge %v -> %v label = %q, want %q", w.from, w.to, l, w.label)
+		}
+	}
+	if n := len(g.Edges()); n != len(wantEdges) {
+		t.Errorf("edge count = %d, want %d:\n%v", n, len(wantEdges), g.Edges())
+	}
+}
+
+func TestPaperExample1IsSWR(t *testing.T) {
+	res := Check(example1())
+	if !res.SWR {
+		t.Fatalf("Example 1 must be SWR; violations: %v", res.Violations)
+	}
+	if !res.Exact {
+		t.Error("Example 1 is simple")
+	}
+	// Figure 1 has no s-edges at all.
+	for _, e := range res.Graph.Edges() {
+		if e.Label.Has(S) {
+			t.Errorf("unexpected s-edge %v -> %v", e.From, e.To)
+		}
+	}
+	// ... but it does have a cycle (r -> s -> v -> r), a harmless one.
+	if !res.Graph.HasCycle() {
+		t.Error("Example 1's graph has the harmless cycle r[ ]->s[ ]->v[ ]->r[ ]")
+	}
+}
+
+func TestPaperExample2PositionGraphMissesDanger(t *testing.T) {
+	// The paper's point: the position graph cannot detect Example 2's
+	// non-rewritability — it contains no cycle with both m and s, so the
+	// (inapplicable) SWR condition would wrongly pass.
+	set := example2()
+	res := Check(set)
+	if res.Exact {
+		t.Fatal("Example 2 is not simple")
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("position graph must NOT flag Example 2: %v", res.Violations)
+	}
+	// Check is honest: SWR=false because the input is not simple.
+	if res.SWR {
+		t.Error("non-simple input must not be certified SWR")
+	}
+}
+
+func TestPaperExample2Figure2Nodes(t *testing.T) {
+	g := Build(example2())
+	// Figure 2 nodes: r[], s[], r[2], t[], s[1], s[2], t[1], r[1], s[3], t[2].
+	want := []dependency.Position{
+		pos("r", 0), pos("s", 0), pos("r", 2), pos("t", 0), pos("s", 1),
+		pos("s", 2), pos("t", 1), pos("r", 1), pos("s", 3), pos("t", 2),
+	}
+	for _, p := range want {
+		if !g.HasNode(p) {
+			t.Errorf("missing Figure 2 node %v", p)
+		}
+	}
+}
+
+func TestSWRSelfLoopWithMS(t *testing.T) {
+	// p(X,Y), p(Y,Z) -> p(X,W): existential body var Y in two atoms (s) and
+	// distinguished X missing from the second atom (m) on a self-loop.
+	set := parser.MustParseRules(`p(X,Y), p(Y,Z) -> p(X,W) .`)
+	res := Check(set)
+	if res.SWR {
+		t.Fatal("self-loop with m and s must not be SWR")
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("expected a dangerous cycle witness")
+	}
+	w := res.Violations[0]
+	if !w.MEdge.Label.Has(M) || !w.SEdge.Label.Has(S) {
+		t.Errorf("witness labels wrong: %v", w)
+	}
+}
+
+func TestSWRLinearRulesAlwaysPass(t *testing.T) {
+	// Linear simple TGDs can never produce an s-edge (single body atom).
+	set := parser.MustParseRules(`
+a(X,Y) -> b(Y,X) .
+b(X,Y) -> c(X) .
+c(X) -> a(X,Y) .
+`)
+	res := Check(set)
+	if !res.SWR {
+		t.Errorf("linear recursive set must be SWR: %v", res.Violations)
+	}
+}
+
+func TestSWRHarmlessSplitOnlyCycle(t *testing.T) {
+	// Splitting without missing on every cycle edge: still SWR.
+	// p(X,Y), q(Y) -> p(X,Z): distinguished X present in p-atom... q(Y)
+	// misses X though. Construct a cycle with s-edges but no m-edge:
+	// every body atom contains every distinguished variable (multilinear).
+	set := parser.MustParseRules(`p(X,Y), q(X,Y) -> p(X,W) .`)
+	res := Check(set)
+	if !res.SWR {
+		t.Errorf("set with s-only cycles must be SWR: %v", res.Violations)
+	}
+	// Confirm there IS an s-edge in a cycle (the split of Y).
+	foundS := false
+	for _, e := range res.Graph.Edges() {
+		if e.Label.Has(S) {
+			foundS = true
+		}
+	}
+	if !foundS {
+		t.Error("expected an s-edge from the Y split")
+	}
+}
+
+func TestCompatibilityIndexedRequiresDistinguished(t *testing.T) {
+	// Head s(Y1,Y3,Y2) with Y3 existential: s[2] must be a dead end.
+	g := Build(example1())
+	for _, e := range g.Edges() {
+		if e.From == pos("s", 2) {
+			t.Errorf("s[2] must have no outgoing edges (Y3 not distinguished), found %v", e)
+		}
+	}
+}
+
+func TestTracedVariableEdges(t *testing.T) {
+	// Chain tracking: a(X) -> b(X); then from b[1], rule b's body position
+	// of the traced variable is a[1].
+	set := parser.MustParseRules(`
+a(X) -> b(X) .
+c(X,Y) -> a(Y) .
+`)
+	g := Build(set)
+	// b[ ] exists (head), a[ ] exists (head). No existential body vars, so
+	// no indexed nodes arise at all here.
+	if g.HasNode(pos("a", 1)) {
+		t.Error("no indexed nodes expected without existential variables")
+	}
+	// Now with an existential that lands on a traced chain.
+	set2 := parser.MustParseRules(`
+b(X,Z) -> a(X,Y) .
+a(X,Y) -> b(Y,X) .
+`)
+	g2 := Build(set2)
+	// a[ ] via rule1: existential body Z at b[2] => node b[2].
+	if !g2.HasNode(pos("b", 2)) {
+		t.Fatal("b[2] must exist from existential Z")
+	}
+	// b[2] via rule2 (head b(Y,X), position 2 holds X, distinguished):
+	// traced X occurs in body a(X,Y) at position 1 -> edge b[2] -> a[1].
+	if _, ok := g2.EdgeLabel(pos("b", 2), pos("a", 1)); !ok {
+		t.Errorf("missing traced edge b[2] -> a[1]; edges: %v", g2.Edges())
+	}
+}
+
+func TestEmptyIntersectionGraphs(t *testing.T) {
+	// Rules whose head predicates never occur in bodies: no cycles.
+	set := parser.MustParseRules(`src(X,Y) -> dst(X,Y) .`)
+	res := Check(set)
+	if !res.SWR || res.Graph.HasCycle() {
+		t.Error("single non-recursive rule must be SWR and acyclic")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	a := Build(example1()).Edges()
+	b := Build(example1()).Edges()
+	if len(a) != len(b) {
+		t.Fatal("edge count must be deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("edge order differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+// randomCQ is a generatable wrapper so testing/quick can produce random
+// small conjunctive queries over a fixed signature.
+type randomCQ struct {
+	Q *CQ
+}
+
+// Generate implements quick.Generator: queries over predicates r/2, s/1,
+// t/3 with up to 4 atoms, up to 4 variables and 2 constants, and 0-2 answer
+// variables.
+func (randomCQ) Generate(rng *rand.Rand, _ int) reflect.Value {
+	vars := []logic.Term{
+		logic.NewVar("X"), logic.NewVar("Y"), logic.NewVar("Z"), logic.NewVar("W"),
+	}
+	consts := []logic.Term{logic.NewConst("a"), logic.NewConst("b")}
+	term := func() logic.Term {
+		if rng.Intn(4) == 0 {
+			return consts[rng.Intn(len(consts))]
+		}
+		return vars[rng.Intn(len(vars))]
+	}
+	preds := []struct {
+		name  string
+		arity int
+	}{{"r", 2}, {"s", 1}, {"t", 3}}
+	n := 1 + rng.Intn(3)
+	body := make([]logic.Atom, n)
+	for i := range body {
+		p := preds[rng.Intn(len(preds))]
+		args := make([]logic.Term, p.arity)
+		for j := range args {
+			args[j] = term()
+		}
+		body[i] = logic.NewAtom(p.name, args...)
+	}
+	// Answer variables drawn from the body's variables.
+	bodyVars := logic.VarsOf(body)
+	var head []logic.Term
+	if len(bodyVars) > 0 {
+		for k := 0; k < rng.Intn(3) && k < len(bodyVars); k++ {
+			head = append(head, bodyVars[rng.Intn(len(bodyVars))])
+		}
+	}
+	q := MustNew(logic.NewAtom("q", head...), body)
+	return reflect.ValueOf(randomCQ{Q: q})
+}
+
+var quickCfg = &quick.Config{MaxCount: 200}
+
+// TestContainmentReflexive: every CQ is contained in itself.
+func TestContainmentReflexive(t *testing.T) {
+	f := func(rq randomCQ) bool { return rq.Q.ContainedIn(rq.Q) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContainmentAlphaInvariant: containment is invariant under renaming.
+func TestContainmentAlphaInvariant(t *testing.T) {
+	f := func(a, b randomCQ) bool {
+		direct := a.Q.ContainedIn(b.Q)
+		renamed := a.Q.Canonical().ContainedIn(b.Q.Canonical())
+		return direct == renamed
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContainmentTransitive: a ⊆ b and b ⊆ c imply a ⊆ c.
+func TestContainmentTransitive(t *testing.T) {
+	f := func(a, b, c randomCQ) bool {
+		if a.Q.ContainedIn(b.Q) && b.Q.ContainedIn(c.Q) {
+			return a.Q.ContainedIn(c.Q)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinimizePreservesEquivalence: the core is equivalent to the original
+// and no larger.
+func TestMinimizePreservesEquivalence(t *testing.T) {
+	f := func(rq randomCQ) bool {
+		m := rq.Q.Minimize()
+		return len(m.Body) <= len(rq.Q.Body) && m.Equivalent(rq.Q)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinimizeIdempotent: minimizing twice changes nothing further.
+func TestMinimizeIdempotent(t *testing.T) {
+	f := func(rq randomCQ) bool {
+		m := rq.Q.Minimize()
+		return len(m.Minimize().Body) == len(m.Body)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCanonicalPreservesSemantics: canonical renaming yields an equivalent
+// query whose variables all use the V-namespace, and plain Canonical (no
+// body reordering) is idempotent.
+func TestCanonicalPreservesSemantics(t *testing.T) {
+	f := func(rq randomCQ) bool {
+		c := rq.Q.SortBody().Canonical()
+		if !c.Equivalent(rq.Q) {
+			return false
+		}
+		for _, v := range logic.VarsOf(append([]logic.Atom{c.Head}, c.Body...)) {
+			if v.Name[0] != 'V' {
+				return false
+			}
+		}
+		// Without reordering, renaming is already canonical.
+		return c.Canonical().Key() == c.Key()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDedupKeySound: DedupKey is a dedup FAST PATH — a collision must mean
+// semantic equivalence (soundness). The converse need not hold: symmetric
+// queries may hash apart under renaming, which only costs the rewriting
+// pool a semantic containment check, never correctness. The test asserts
+// soundness and that the common case (alpha variant, same atom order after
+// sorting) collides.
+func TestDedupKeySound(t *testing.T) {
+	f := func(a, b randomCQ) bool {
+		if a.Q.DedupKey() == b.Q.DedupKey() {
+			return a.Q.Equivalent(b.Q)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+	// Alpha variants that preserve name order must collide.
+	base := MustNew(logic.NewAtom("q", logic.NewVar("X")),
+		[]logic.Atom{
+			logic.NewAtom("r", logic.NewVar("X"), logic.NewVar("Y")),
+			logic.NewAtom("s", logic.NewVar("Y")),
+		})
+	variant := MustNew(logic.NewAtom("q", logic.NewVar("U")),
+		[]logic.Atom{
+			logic.NewAtom("r", logic.NewVar("U"), logic.NewVar("V")),
+			logic.NewAtom("s", logic.NewVar("V")),
+		})
+	if base.DedupKey() != variant.DedupKey() {
+		t.Error("order-preserving alpha variants must share dedup keys")
+	}
+}
+
+// TestPruneSoundness: pruning a UCQ preserves equivalence.
+func TestPruneSoundness(t *testing.T) {
+	f := func(a, b, c randomCQ) bool {
+		// Align heads on a common arity by using boolean projections.
+		mk := func(q *CQ) *CQ { return MustNew(logic.NewAtom("q"), q.Body) }
+		u := &UCQ{CQs: []*CQ{mk(a.Q), mk(b.Q), mk(c.Q)}}
+		p := u.Prune()
+		return p.Len() >= 1 && p.Equivalent(u)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

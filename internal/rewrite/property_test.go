@@ -1,0 +1,143 @@
+package rewrite
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/datagen"
+	"repro/internal/dependency"
+	"repro/internal/eval"
+	"repro/internal/logic"
+	"repro/internal/posgraph"
+	"repro/internal/query"
+)
+
+// atomicQueryFor builds q(X1..Xk) :- p(X1..Xk) for a predicate of the set.
+func atomicQueryFor(set *dependency.Set, pred string, arity int) *query.CQ {
+	args := make([]logic.Term, arity)
+	for i := range args {
+		args[i] = logic.NewVar(fmt.Sprintf("X%d", i+1))
+	}
+	return query.MustNew(
+		logic.NewAtom("ans", args...),
+		[]logic.Atom{logic.NewAtom(pred, args...)})
+}
+
+// TestSWRImpliesTerminatingRewriting is the computational content of the
+// paper's Theorem 1 over generated workloads: for every generated simple
+// set accepted by SWR, the rewriting of every atomic query over a head
+// predicate reaches a fixpoint within a generous budget.
+func TestSWRImpliesTerminatingRewriting(t *testing.T) {
+	families := []datagen.Family{datagen.FamilyLinear, datagen.FamilyMultilinear, datagen.FamilySticky}
+	checked := 0
+	for _, fam := range families {
+		for seed := int64(0); seed < 12; seed++ {
+			set := datagen.Rules(datagen.Config{Family: fam, Rules: 4, Seed: seed})
+			if !posgraph.Check(set).SWR {
+				continue
+			}
+			sig, err := set.Predicates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pred := range set.HeadPredicates() {
+				q := atomicQueryFor(set, pred, sig[pred])
+				res := Rewrite(q, set, Options{MaxCQs: 2000, Minimize: true})
+				checked++
+				if !res.Complete {
+					t.Errorf("family %v seed %d: rewriting of %s diverged on an SWR set\n%s",
+						fam, seed, pred, set)
+				}
+			}
+		}
+	}
+	if checked < 20 {
+		t.Errorf("too few rewritings exercised (%d)", checked)
+	}
+}
+
+// TestRewriteChaseAgreementRandom is the semantic soundness-and-completeness
+// cross-check (paper Definition 1): over random FO-rewritable ontologies and
+// random instances, evaluating the rewriting equals evaluating the query on
+// the (terminated) chase.
+func TestRewriteChaseAgreementRandom(t *testing.T) {
+	families := []datagen.Family{datagen.FamilyLinear, datagen.FamilyMultilinear, datagen.FamilySticky}
+	agreements := 0
+	for _, fam := range families {
+		for seed := int64(0); seed < 10; seed++ {
+			set := datagen.Rules(datagen.Config{Family: fam, Rules: 3, Seed: seed})
+			if !posgraph.Check(set).SWR {
+				continue
+			}
+			sig, err := set.Predicates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := datagen.Instance(set, 6, 4, seed)
+			for _, pred := range set.HeadPredicates() {
+				q := atomicQueryFor(set, pred, sig[pred])
+				res := Rewrite(q, set, Options{MaxCQs: 2000, Minimize: true})
+				if !res.Complete {
+					continue // covered by the theorem test above
+				}
+				chAns, chRes := chase.CertainAnswers(query.MustNewUCQ(q), set, data,
+					chase.Options{MaxRounds: 60, MaxSteps: 30000})
+				if !chRes.Terminated {
+					// The chase may legitimately diverge on existential
+					// cycles; a truncated chase only under-approximates.
+					rwAns := eval.UCQ(res.UCQ, data, eval.Options{FilterNulls: true})
+					if diff := chAns.Minus(rwAns); len(diff) != 0 {
+						t.Errorf("family %v seed %d pred %s: chase found answers the rewriting missed: %v",
+							fam, seed, pred, diff)
+					}
+					continue
+				}
+				rwAns := eval.UCQ(res.UCQ, data, eval.Options{FilterNulls: true})
+				agreements++
+				if !rwAns.Equal(chAns) {
+					t.Errorf("family %v seed %d pred %s: rewriting and chase disagree\nrewrite: %v\nchase: %v\nrules:\n%s",
+						fam, seed, pred, rwAns, chAns, set)
+				}
+			}
+		}
+	}
+	if agreements < 15 {
+		t.Errorf("too few agreement checks completed (%d)", agreements)
+	}
+}
+
+// TestRewritingSoundOnArbitrarySets checks pure soundness with no class
+// assumption: even for chain-family sets that may not be FO-rewritable,
+// every answer of a (possibly truncated) rewriting is a certain answer
+// (contained in the terminated chase's answers).
+func TestRewritingSoundOnArbitrarySets(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		set := datagen.Rules(datagen.Config{Family: datagen.FamilyChain, Rules: 4, Seed: seed})
+		sig, err := set.Predicates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := datagen.Instance(set, 5, 3, seed)
+		for _, pred := range set.HeadPredicates() {
+			q := atomicQueryFor(set, pred, sig[pred])
+			res := Rewrite(q, set, Options{MaxCQs: 150, Minimize: true})
+			chAns, chRes := chase.CertainAnswers(query.MustNewUCQ(q), set, data,
+				chase.Options{MaxRounds: 80, MaxSteps: 50000})
+			if !chRes.Terminated {
+				continue
+			}
+			rwAns := eval.UCQ(res.UCQ, data, eval.Options{FilterNulls: true})
+			if diff := rwAns.Minus(chAns); len(diff) != 0 {
+				t.Errorf("seed %d pred %s: rewriting returned non-certain answers %v\nrules:\n%s",
+					seed, pred, diff, set)
+			}
+			if res.Complete {
+				if diff := chAns.Minus(rwAns); len(diff) != 0 {
+					t.Errorf("seed %d pred %s: complete rewriting missed certain answers %v\nrules:\n%s",
+						seed, pred, diff, set)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package rewrite implements UCQ rewriting over TGDs: the query-expansion
+// technique whose termination behaviour the paper's SWR/WR classes
+// characterize. Given a (U)CQ q and a set P of TGDs, it computes a union of
+// conjunctive queries q' such that evaluating q' directly over any database
+// D yields exactly cert(q, P, D) — the first-order rewriting promised by
+// FO-rewritability (paper Definition 1).
+//
+// The rewriting step is piece unification (König/Mugnier style), complete
+// for arbitrary TGDs including multi-atom heads: a step selects a non-empty
+// "piece" of query atoms, maps each to a head atom of a rule, computes the
+// joint most-general unifier, verifies the applicability conditions on
+// existential head variables, and replaces the piece with the instantiated
+// rule body. Unifying several query atoms in one step subsumes the classical
+// factorization rule. Generated CQs are pruned by homomorphic subsumption.
+//
+// On FO-rewritable inputs (e.g. any SWR set, Theorem 1) the loop reaches a
+// fixpoint; otherwise it stops at the configured budgets and reports the
+// rewriting as incomplete (still sound: every disjunct only returns certain
+// answers).
+package rewrite
+
+import (
+	"repro/internal/dependency"
+	"repro/internal/logic"
+	"repro/internal/query"
+)
+
+// Options configures the rewriting engine.
+type Options struct {
+	// MaxCQs bounds the number of distinct CQs kept in the rewriting
+	// (0 = default 5000). Exceeding it stops the loop with Complete=false.
+	MaxCQs int
+	// MaxDepth bounds the number of rewriting steps applied to derive any
+	// single CQ (0 = unbounded; budgets still apply).
+	MaxDepth int
+	// MaxPieceSize bounds how many query atoms one step may unify
+	// (0 = default 3). Pieces larger than the largest rule head only matter
+	// for factorization, so small values lose no completeness in practice
+	// for the classes studied here.
+	MaxPieceSize int
+	// Minimize core-minimizes every generated CQ (slower per CQ, smaller
+	// output; defaults to true via NewOptions — zero value means off).
+	Minimize bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCQs == 0 {
+		o.MaxCQs = 5000
+	}
+	if o.MaxPieceSize == 0 {
+		o.MaxPieceSize = 3
+	}
+	return o
+}
+
+// DefaultOptions returns the recommended configuration: minimization on,
+// default budgets.
+func DefaultOptions() Options {
+	return Options{Minimize: true}
+}
+
+// Result is the outcome of a rewriting run.
+type Result struct {
+	// UCQ is the computed rewriting (pruned of subsumed disjuncts).
+	UCQ *query.UCQ
+	// Complete reports whether the rewriting reached a fixpoint. When
+	// false, budgets were hit: the UCQ is sound but may miss answers.
+	Complete bool
+	// Generated counts every CQ produced, including pruned duplicates.
+	Generated int
+	// Kept is the number of disjuncts in the final UCQ.
+	Kept int
+	// MaxDepthSeen is the deepest rewriting step applied.
+	MaxDepthSeen int
+	// LargestCQ is the atom count of the largest CQ ever generated —
+	// strictly growing values are the signature of the paper's "unbounded
+	// chain" divergence (Example 2).
+	LargestCQ int
+	// Paths holds, aligned with UCQ.CQs, the rule labels applied to derive
+	// each disjunct from the input query (empty for input disjuncts).
+	Paths [][]string
+}
+
+// Rewrite computes the UCQ rewriting of a single CQ.
+func Rewrite(q *query.CQ, rules *dependency.Set, opts Options) *Result {
+	return RewriteUCQ(&query.UCQ{CQs: []*query.CQ{q}}, rules, opts)
+}
+
+// RewriteUCQ computes the UCQ rewriting of a union of CQs.
+func RewriteUCQ(u *query.UCQ, rules *dependency.Set, opts Options) *Result {
+	opts = opts.withDefaults()
+	st := &state{opts: opts, rules: rules, gen: logic.NewVarGen("rw"),
+		byKey: make(map[string]int)}
+
+	for _, q := range u.CQs {
+		st.offer(q, 0, nil)
+	}
+
+	res := &Result{Complete: true}
+	for st.cursor < len(st.pool) {
+		entry := st.pool[st.cursor]
+		st.cursor++
+		if entry.dead {
+			continue
+		}
+		if opts.MaxDepth > 0 && entry.depth >= opts.MaxDepth {
+			res.Complete = false
+			continue
+		}
+		for _, rule := range rules.Rules {
+			renamed := rule.Rename(st.gen)
+			st.applyRule(entry, renamed)
+			if st.overBudget() {
+				res.Complete = false
+				break
+			}
+		}
+		if st.overBudget() {
+			res.Complete = false
+			break
+		}
+	}
+
+	var kept []*query.CQ
+	var paths [][]string
+	for _, e := range st.pool {
+		if !e.dead {
+			kept = append(kept, e.cq)
+			paths = append(paths, e.path)
+			if e.depth > res.MaxDepthSeen {
+				res.MaxDepthSeen = e.depth
+			}
+		}
+	}
+	res.UCQ = &query.UCQ{CQs: kept}
+	res.Paths = paths
+	res.Generated = st.generated
+	res.Kept = len(kept)
+	res.LargestCQ = st.largest
+	return res
+}
+
+type poolEntry struct {
+	cq    *query.CQ
+	depth int
+	dead  bool
+	// path records the labels of the rules applied to reach this CQ.
+	path []string
+}
+
+type state struct {
+	opts      Options
+	rules     *dependency.Set
+	gen       *logic.VarGen
+	pool      []*poolEntry
+	byKey     map[string]int
+	cursor    int
+	generated int
+	largest   int
+}
+
+func (st *state) overBudget() bool { return st.liveCount() > st.opts.MaxCQs }
+
+func (st *state) liveCount() int {
+	n := 0
+	for _, e := range st.pool {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// offer adds a candidate CQ to the pool unless it duplicates or is subsumed
+// by a live entry; live entries strictly subsumed by the candidate are
+// retired. Returns whether the candidate was kept.
+func (st *state) offer(q *query.CQ, depth int, path []string) bool {
+	st.generated++
+	if st.opts.Minimize {
+		q = q.Minimize()
+	}
+	q = q.SortBody().Canonical()
+	if len(q.Body) > st.largest {
+		st.largest = len(q.Body)
+	}
+	key := q.DedupKey()
+	if idx, ok := st.byKey[key]; ok && !st.pool[idx].dead {
+		return false
+	}
+	for _, e := range st.pool {
+		if e.dead {
+			continue
+		}
+		if q.ContainedIn(e.cq) {
+			return false
+		}
+	}
+	for _, e := range st.pool {
+		if e.dead {
+			continue
+		}
+		if e.cq.ContainedIn(q) {
+			e.dead = true
+		}
+	}
+	st.pool = append(st.pool, &poolEntry{cq: q, depth: depth, path: path})
+	st.byKey[key] = len(st.pool) - 1
+	return true
+}
+
+// cand pairs a query-atom index with the head-atom index it unifies with in
+// a piece-unification step.
+type cand struct{ qi, hi int }
+
+// applyRule enumerates every piece unification of entry.cq with the
+// (renamed-apart) rule and offers the resulting CQs.
+func (st *state) applyRule(entry *poolEntry, rule *dependency.TGD) {
+	q := entry.cq
+	// Candidate query-atom indexes per head-atom index.
+	var cands []cand
+	for qi, qa := range q.Body {
+		for hi, ha := range rule.Head {
+			if qa.Pred == ha.Pred && qa.Arity() == ha.Arity() {
+				cands = append(cands, cand{qi, hi})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	maxPiece := st.opts.MaxPieceSize
+	if maxPiece > len(q.Body) {
+		maxPiece = len(q.Body)
+	}
+
+	// Enumerate assignments: pick a non-empty subset of candidate pairs
+	// with distinct query atoms (a query atom unifies with exactly one head
+	// atom per step; head atoms may absorb several query atoms).
+	var chosen []cand
+	usedQ := make(map[int]bool)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(chosen) > 0 {
+			st.tryPiece(entry, rule, chosen)
+		}
+		if len(chosen) == maxPiece {
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			c := cands[i]
+			if usedQ[c.qi] {
+				continue
+			}
+			usedQ[c.qi] = true
+			chosen = append(chosen, c)
+			rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
+			delete(usedQ, c.qi)
+		}
+	}
+	rec(0)
+}
+
+// tryPiece attempts a single piece unification: the query atoms named in
+// piece are unified with their assigned head atoms; on success the rewritten
+// CQ is offered to the pool.
+func (st *state) tryPiece(entry *poolEntry, rule *dependency.TGD, piece []cand) {
+	q := entry.cq
+	u := logic.NewUnifier()
+	for _, p := range piece {
+		if !u.UnifyAtoms(q.Body[p.qi], rule.Head[p.hi]) {
+			return
+		}
+	}
+	if !st.applicable(q, rule, piece, u) {
+		return
+	}
+	subst := u.Subst()
+
+	inPiece := make(map[int]bool, len(piece))
+	for _, p := range piece {
+		inPiece[p.qi] = true
+	}
+	var body []logic.Atom
+	for qi, qa := range q.Body {
+		if !inPiece[qi] {
+			body = append(body, subst.ApplyAtom(qa))
+		}
+	}
+	body = append(body, subst.ApplyAtoms(rule.Body)...)
+	head := subst.ApplyAtom(q.Head)
+	newCQ := &query.CQ{Head: head, Body: body}
+	if newCQ.Validate() != nil {
+		return
+	}
+	path := append(append([]string{}, entry.path...), rule.Label)
+	st.offer(newCQ, entry.depth+1, path)
+}
+
+// applicable verifies the piece-unifier conditions on every existential head
+// variable e of the rule: the unifier class of e must contain no constant,
+// no other variable of the rule, no answer variable of the query, and no
+// query variable that occurs in a body atom outside the piece. These are
+// exactly the conditions under which dropping the piece is sound — the
+// erased variables denote unknown values the rule's head invents.
+func (st *state) applicable(q *query.CQ, rule *dependency.TGD, piece []cand, u *logic.Unifier) bool {
+	ruleVars := make(map[logic.Term]bool)
+	for _, v := range rule.HeadVars() {
+		ruleVars[v] = true
+	}
+	answer := make(map[logic.Term]bool)
+	for _, t := range q.Head.Args {
+		if t.IsVar() {
+			answer[t] = true
+		}
+	}
+	inPiece := make(map[int]bool, len(piece))
+	for _, p := range piece {
+		inPiece[p.qi] = true
+	}
+	outsideVars := make(map[logic.Term]bool)
+	for qi, qa := range q.Body {
+		if !inPiece[qi] {
+			for _, v := range qa.Vars() {
+				outsideVars[v] = true
+			}
+		}
+	}
+	for _, e := range rule.ExistentialHead() {
+		for _, member := range u.ClassOf(e) {
+			if member == e {
+				continue
+			}
+			if member.IsRigid() {
+				return false // constant (or null) forced into an invented value
+			}
+			if ruleVars[member] {
+				return false // merged with a frontier or another existential
+			}
+			// member is a query variable: it is erased by this step, so it
+			// must not be needed elsewhere.
+			if answer[member] || outsideVars[member] {
+				return false
+			}
+		}
+	}
+	return true
+}

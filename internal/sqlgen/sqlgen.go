@@ -1,0 +1,139 @@
+// Package sqlgen translates a union of conjunctive queries — typically a
+// first-order rewriting produced by the rewrite package — into a SQL query.
+// This makes the paper's FO-rewritability promise concrete: a conjunctive
+// query over the ontology becomes one SQL statement over the plain database
+// (§1: "the complexity of query answering ... matches the complexity of
+// query evaluation in classical DBMSs").
+//
+// Each relation r/k is assumed stored as a table r with columns c1..ck.
+// Every CQ becomes a SELECT over aliased joins with WHERE equalities from
+// shared variables and constants; the UCQ becomes their UNION.
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/query"
+)
+
+// Options configures SQL generation.
+type Options struct {
+	// Distinct emits SELECT DISTINCT (set semantics, the default for
+	// certain answers).
+	Distinct bool
+	// Pretty adds newlines and indentation.
+	Pretty bool
+}
+
+// CQ translates one conjunctive query to a SELECT statement (no trailing
+// semicolon).
+func CQ(q *query.CQ, opts Options) (string, error) {
+	if err := q.Validate(); err != nil {
+		return "", err
+	}
+	type col struct {
+		alias string
+		col   int
+	}
+	firstOcc := make(map[logic.Term]col)
+	var where []string
+
+	aliases := make([]string, len(q.Body))
+	var from []string
+	for i, a := range q.Body {
+		alias := fmt.Sprintf("t%d", i+1)
+		aliases[i] = alias
+		from = append(from, fmt.Sprintf("%s AS %s", ident(a.Pred), alias))
+		for j, t := range a.Args {
+			ref := fmt.Sprintf("%s.c%d", alias, j+1)
+			switch {
+			case t.IsConst():
+				where = append(where, fmt.Sprintf("%s = %s", ref, lit(t.Name)))
+			case t.IsVar():
+				if prev, ok := firstOcc[t]; ok {
+					where = append(where,
+						fmt.Sprintf("%s = %s.c%d", ref, prev.alias, prev.col))
+				} else {
+					firstOcc[t] = col{alias, j + 1}
+				}
+			default:
+				return "", fmt.Errorf("sqlgen: labelled null %v in query", t)
+			}
+		}
+	}
+
+	var selects []string
+	for i, t := range q.Head.Args {
+		switch {
+		case t.IsConst():
+			selects = append(selects, fmt.Sprintf("%s AS a%d", lit(t.Name), i+1))
+		case t.IsVar():
+			occ, ok := firstOcc[t]
+			if !ok {
+				return "", fmt.Errorf("sqlgen: unsafe head variable %v", t)
+			}
+			selects = append(selects, fmt.Sprintf("%s.c%d AS a%d", occ.alias, occ.col, i+1))
+		default:
+			return "", fmt.Errorf("sqlgen: labelled null %v in head", t)
+		}
+	}
+	if len(selects) == 0 {
+		selects = []string{"1 AS nonempty"}
+	}
+
+	kw := "SELECT"
+	if opts.Distinct {
+		kw = "SELECT DISTINCT"
+	}
+	sep, indent := " ", ""
+	if opts.Pretty {
+		sep, indent = "\n", "  "
+	}
+	var b strings.Builder
+	b.WriteString(kw)
+	b.WriteString(sep)
+	b.WriteString(indent + strings.Join(selects, ", "))
+	b.WriteString(sep)
+	b.WriteString("FROM")
+	b.WriteString(sep)
+	b.WriteString(indent + strings.Join(from, ", "))
+	if len(where) > 0 {
+		b.WriteString(sep)
+		b.WriteString("WHERE")
+		b.WriteString(sep)
+		b.WriteString(indent + strings.Join(where, " AND "))
+	}
+	return b.String(), nil
+}
+
+// UCQ translates a union of conjunctive queries to a UNION of SELECTs.
+func UCQ(u *query.UCQ, opts Options) (string, error) {
+	if err := u.Validate(); err != nil {
+		return "", err
+	}
+	parts := make([]string, 0, len(u.CQs))
+	for _, q := range u.CQs {
+		s, err := CQ(q, opts)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, s)
+	}
+	sep := " UNION "
+	if opts.Pretty {
+		sep = "\nUNION\n"
+	}
+	return strings.Join(parts, sep), nil
+}
+
+// ident quotes a SQL identifier.
+func ident(name string) string {
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+// lit quotes a SQL string literal.
+func lit(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

@@ -1,0 +1,126 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/query"
+)
+
+func mustQ(src string) *query.CQ {
+	pq := parser.MustParseQuery(src)
+	return query.MustNew(pq.Head, pq.Body)
+}
+
+func TestSingleAtom(t *testing.T) {
+	sql, err := CQ(mustQ(`q(X,Y) :- r(X,Y) .`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `SELECT t1.c1 AS a1, t1.c2 AS a2 FROM "r" AS t1`
+	if sql != want {
+		t.Errorf("sql = %q, want %q", sql, want)
+	}
+}
+
+func TestJoinAndConstant(t *testing.T) {
+	sql, err := CQ(mustQ(`q(X) :- r(X,Y), s(Y,"k") .`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"t2.c1 = t1.c2", // join on Y
+		"t2.c2 = 'k'",   // constant selection
+		`"r" AS t1, "s" AS t2`,
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("sql missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	sql, err := CQ(mustQ(`q(X) :- r(X,X) .`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "t1.c2 = t1.c1") {
+		t.Errorf("self-equality missing:\n%s", sql)
+	}
+}
+
+func TestBooleanQuery(t *testing.T) {
+	sql, err := CQ(mustQ(`q() :- r(X) .`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "1 AS nonempty") {
+		t.Errorf("boolean query select list wrong:\n%s", sql)
+	}
+}
+
+func TestConstantInHead(t *testing.T) {
+	sql, err := CQ(mustQ(`q("tag", X) :- r(X) .`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "'tag' AS a1") {
+		t.Errorf("head constant missing:\n%s", sql)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	sql, err := CQ(mustQ(`q(X) :- r(X) .`), Options{Distinct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sql, "SELECT DISTINCT") {
+		t.Errorf("DISTINCT missing:\n%s", sql)
+	}
+}
+
+func TestUCQUnion(t *testing.T) {
+	u := query.MustNewUCQ(mustQ(`q(X) :- cat(X) .`), mustQ(`q(X) :- dog(X) .`))
+	sql, err := UCQ(u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sql, "SELECT") != 2 || !strings.Contains(sql, " UNION ") {
+		t.Errorf("union shape wrong:\n%s", sql)
+	}
+}
+
+func TestPrettyOutput(t *testing.T) {
+	sql, err := CQ(mustQ(`q(X) :- r(X,Y), s(Y) .`), Options{Pretty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "\nFROM\n") || !strings.Contains(sql, "\nWHERE\n") {
+		t.Errorf("pretty layout missing:\n%s", sql)
+	}
+}
+
+func TestQuotingEdgeCases(t *testing.T) {
+	q := query.MustNew(
+		logic.NewAtom("q", logic.NewVar("X")),
+		[]logic.Atom{logic.NewAtom("weird table", logic.NewVar("X"), logic.NewConst("it's"))})
+	sql, err := CQ(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, `"weird table"`) || !strings.Contains(sql, "'it''s'") {
+		t.Errorf("quoting wrong:\n%s", sql)
+	}
+}
+
+func TestNullRejected(t *testing.T) {
+	q := &query.CQ{
+		Head: logic.NewAtom("q"),
+		Body: []logic.Atom{logic.NewAtom("r", logic.NewNull("n"))},
+	}
+	if _, err := CQ(q, Options{}); err == nil {
+		t.Error("labelled nulls have no SQL form; must error")
+	}
+}

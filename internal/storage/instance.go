@@ -1,0 +1,241 @@
+// Package storage implements the in-memory relational substrate: database
+// instances made of relations over terms (constants and, during the chase,
+// labelled nulls), with per-column hash indexes for evaluation.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Tuple is one row of a relation.
+type Tuple []logic.Term
+
+// Key returns a canonical encoding of the tuple for dedup.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, x := range t {
+		b.WriteByte(0)
+		b.WriteByte(byte('0') + byte(x.Kind))
+		b.WriteString(x.Name)
+	}
+	return b.String()
+}
+
+// HasNull reports whether the tuple contains a labelled null.
+func (t Tuple) HasNull() bool {
+	for _, x := range t {
+		if x.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone copies the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Relation is a named, fixed-arity set of tuples with lazily built
+// per-column hash indexes.
+type Relation struct {
+	name   string
+	arity  int
+	tuples []Tuple
+	keys   map[string]int // tuple key -> index into tuples
+	// index[col][term] lists tuple offsets having term at col.
+	index []map[logic.Term][]int
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{name: name, arity: arity, keys: make(map[string]int)}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the relation arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds the tuple, reporting whether it was new. It panics on arity
+// mismatch (a programming error, since callers validate predicates).
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("storage: tuple arity %d for relation %s/%d", len(t), r.name, r.arity))
+	}
+	k := t.Key()
+	if _, ok := r.keys[k]; ok {
+		return false
+	}
+	t = t.Clone()
+	r.keys[k] = len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	if r.index != nil {
+		for col, term := range t {
+			r.index[col][term] = append(r.index[col][term], len(r.tuples)-1)
+		}
+	}
+	return true
+}
+
+// Contains reports whether the tuple is present.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.keys[t.Key()]
+	return ok
+}
+
+// Tuples returns the backing slice of tuples; callers must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// buildIndex materializes the per-column indexes.
+func (r *Relation) buildIndex() {
+	r.index = make([]map[logic.Term][]int, r.arity)
+	for col := 0; col < r.arity; col++ {
+		r.index[col] = make(map[logic.Term][]int)
+	}
+	for i, t := range r.tuples {
+		for col, term := range t {
+			r.index[col][term] = append(r.index[col][term], i)
+		}
+	}
+}
+
+// Lookup returns the offsets of tuples with the given term at column col
+// (0-based). Builds the index on first use.
+func (r *Relation) Lookup(col int, term logic.Term) []int {
+	if r.index == nil {
+		r.buildIndex()
+	}
+	return r.index[col][term]
+}
+
+// Instance is a database instance: a collection of relations keyed by
+// predicate name.
+type Instance struct {
+	rels map[string]*Relation
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance {
+	return &Instance{rels: make(map[string]*Relation)}
+}
+
+// FromAtoms builds an instance from ground atoms, returning an error on any
+// non-ground atom or arity conflict.
+func FromAtoms(atoms []logic.Atom) (*Instance, error) {
+	ins := NewInstance()
+	for _, a := range atoms {
+		if !a.IsGround() {
+			return nil, fmt.Errorf("storage: non-ground atom %v", a)
+		}
+		if err := ins.InsertAtom(a); err != nil {
+			return nil, err
+		}
+	}
+	return ins, nil
+}
+
+// MustFromAtoms is FromAtoms panicking on error.
+func MustFromAtoms(atoms []logic.Atom) *Instance {
+	ins, err := FromAtoms(atoms)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+// Relation returns the relation for pred, or nil if absent.
+func (ins *Instance) Relation(pred string) *Relation { return ins.rels[pred] }
+
+// InsertAtom adds a ground atom as a tuple, creating the relation on first
+// use; reports an arity conflict as an error. Returns nil even when the
+// tuple was already present (idempotent).
+func (ins *Instance) InsertAtom(a logic.Atom) error {
+	_, err := ins.Insert(a)
+	return err
+}
+
+// Insert adds a ground atom, reporting whether it was new.
+func (ins *Instance) Insert(a logic.Atom) (bool, error) {
+	rel, ok := ins.rels[a.Pred]
+	if !ok {
+		rel = NewRelation(a.Pred, a.Arity())
+		ins.rels[a.Pred] = rel
+	}
+	if rel.Arity() != a.Arity() {
+		return false, fmt.Errorf("storage: predicate %s used with arity %d and %d",
+			a.Pred, rel.Arity(), a.Arity())
+	}
+	return rel.Insert(Tuple(a.Args)), nil
+}
+
+// ContainsAtom reports whether the ground atom is in the instance.
+func (ins *Instance) ContainsAtom(a logic.Atom) bool {
+	rel := ins.rels[a.Pred]
+	if rel == nil || rel.Arity() != a.Arity() {
+		return false
+	}
+	return rel.Contains(Tuple(a.Args))
+}
+
+// Predicates returns the predicate names present, sorted.
+func (ins *Instance) Predicates() []string {
+	out := make([]string, 0, len(ins.rels))
+	for p := range ins.rels {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the total number of tuples across relations.
+func (ins *Instance) Size() int {
+	n := 0
+	for _, r := range ins.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Atoms returns every fact as an atom, grouped by predicate in sorted order.
+func (ins *Instance) Atoms() []logic.Atom {
+	var out []logic.Atom
+	for _, p := range ins.Predicates() {
+		for _, t := range ins.rels[p].Tuples() {
+			out = append(out, logic.NewAtom(p, t.Clone()...))
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the instance.
+func (ins *Instance) Clone() *Instance {
+	out := NewInstance()
+	for p, r := range ins.rels {
+		nr := NewRelation(p, r.Arity())
+		for _, t := range r.Tuples() {
+			nr.Insert(t)
+		}
+		out.rels[p] = nr
+	}
+	return out
+}
+
+// String renders the instance as sorted fact lines.
+func (ins *Instance) String() string {
+	var lines []string
+	for _, a := range ins.Atoms() {
+		lines = append(lines, a.String()+" .")
+	}
+	return strings.Join(lines, "\n")
+}

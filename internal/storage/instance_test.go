@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func c(n string) logic.Term { return logic.NewConst(n) }
+
+func TestRelationInsertDedup(t *testing.T) {
+	r := NewRelation("r", 2)
+	if !r.Insert(Tuple{c("a"), c("b")}) {
+		t.Error("first insert must be new")
+	}
+	if r.Insert(Tuple{c("a"), c("b")}) {
+		t.Error("duplicate insert must report false")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if !r.Contains(Tuple{c("a"), c("b")}) || r.Contains(Tuple{c("b"), c("a")}) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestRelationArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch must panic")
+		}
+	}()
+	NewRelation("r", 2).Insert(Tuple{c("a")})
+}
+
+func TestRelationLookup(t *testing.T) {
+	r := NewRelation("r", 2)
+	r.Insert(Tuple{c("a"), c("b")})
+	r.Insert(Tuple{c("a"), c("c")})
+	r.Insert(Tuple{c("d"), c("b")})
+	if got := r.Lookup(0, c("a")); len(got) != 2 {
+		t.Errorf("Lookup(0,a) = %v, want 2 offsets", got)
+	}
+	if got := r.Lookup(1, c("b")); len(got) != 2 {
+		t.Errorf("Lookup(1,b) = %v, want 2 offsets", got)
+	}
+	if got := r.Lookup(0, c("z")); len(got) != 0 {
+		t.Errorf("Lookup(0,z) = %v, want empty", got)
+	}
+	// Insert after index build must keep the index current.
+	r.Insert(Tuple{c("a"), c("z")})
+	if got := r.Lookup(0, c("a")); len(got) != 3 {
+		t.Errorf("Lookup after post-index insert = %v, want 3", got)
+	}
+}
+
+func TestTupleHasNullAndKey(t *testing.T) {
+	withNull := Tuple{c("a"), logic.NewNull("n1")}
+	if !withNull.HasNull() {
+		t.Error("HasNull must detect nulls")
+	}
+	if (Tuple{c("a")}).HasNull() {
+		t.Error("constant tuple has no null")
+	}
+	// Key distinguishes a constant from a null of the same name.
+	if (Tuple{c("n1")}).Key() == (Tuple{logic.NewNull("n1")}).Key() {
+		t.Error("Key must distinguish kinds")
+	}
+}
+
+func TestInstanceInsertAndContains(t *testing.T) {
+	ins := NewInstance()
+	a := logic.NewAtom("p", c("x"), c("y"))
+	added, err := ins.Insert(a)
+	if err != nil || !added {
+		t.Fatalf("Insert = %v, %v", added, err)
+	}
+	if added, _ := ins.Insert(a); added {
+		t.Error("duplicate must not be new")
+	}
+	if !ins.ContainsAtom(a) {
+		t.Error("ContainsAtom must find inserted atom")
+	}
+	if ins.ContainsAtom(logic.NewAtom("p", c("x"))) {
+		t.Error("wrong arity must not be contained")
+	}
+	if ins.Size() != 1 {
+		t.Errorf("Size = %d", ins.Size())
+	}
+}
+
+func TestInstanceArityConflict(t *testing.T) {
+	ins := NewInstance()
+	if err := ins.InsertAtom(logic.NewAtom("p", c("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.InsertAtom(logic.NewAtom("p", c("x"), c("y"))); err == nil {
+		t.Error("arity conflict must error")
+	}
+}
+
+func TestFromAtomsRejectsVariables(t *testing.T) {
+	if _, err := FromAtoms([]logic.Atom{logic.NewAtom("p", logic.NewVar("X"))}); err == nil {
+		t.Error("non-ground atom must be rejected")
+	}
+}
+
+func TestInstanceAtomsSortedAndClone(t *testing.T) {
+	ins := MustFromAtoms([]logic.Atom{
+		logic.NewAtom("q", c("z")),
+		logic.NewAtom("p", c("a"), c("b")),
+	})
+	atoms := ins.Atoms()
+	if len(atoms) != 2 || atoms[0].Pred != "p" || atoms[1].Pred != "q" {
+		t.Errorf("Atoms = %v, want p before q", atoms)
+	}
+	cl := ins.Clone()
+	cl.InsertAtom(logic.NewAtom("q", c("w")))
+	if ins.Size() != 2 || cl.Size() != 3 {
+		t.Error("Clone must be independent")
+	}
+	preds := ins.Predicates()
+	if len(preds) != 2 || preds[0] != "p" || preds[1] != "q" {
+		t.Errorf("Predicates = %v", preds)
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	ins := MustFromAtoms([]logic.Atom{logic.NewAtom("p", c("a"))})
+	if got := ins.String(); !strings.Contains(got, "p(a) .") {
+		t.Errorf("String = %q", got)
+	}
+}

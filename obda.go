@@ -1,0 +1,267 @@
+// Package repro is an ontology-based data access (OBDA) system over
+// database dependencies, reproducing Civili's "Query Answering over
+// Ontologies Specified via Database Dependencies" (SIGMOD'14 PhD Symposium).
+//
+// An ontology is a set of tuple-generating dependencies (TGDs) layered over
+// a relational database. The package answers unions of conjunctive queries
+// under certain-answer semantics, choosing between the two classical
+// expansion techniques:
+//
+//   - query rewriting: compile the query into a first-order query (a UCQ,
+//     or SQL) evaluated directly over the data — possible exactly when the
+//     rule set is FO-rewritable, which the paper's SWR and WR graph-based
+//     tests certify;
+//   - materialization: chase the data with the rules and evaluate the query
+//     over the expansion.
+//
+// # Quick start
+//
+//	ont, err := repro.Parse(`
+//	    student(X) -> person(X) .
+//	    person(X)  -> hasParent(X, Y) .
+//	    student(alice) .
+//	`)
+//	report := ont.Classify()          // SWR? WR? sticky? ... strategy
+//	ans, _ := ont.Answer("q(X) :- person(X) .")
+//
+// The internal packages expose the full machinery: internal/posgraph and
+// internal/pnode implement the paper's position graph (SWR) and P-node
+// graph (WR); internal/rewrite is the piece-unification rewriting engine;
+// internal/chase the chase; internal/classes the competitor classifiers.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/dependency"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/rewrite"
+	"repro/internal/sqlgen"
+	"repro/internal/storage"
+)
+
+// Ontology is a set of TGDs together with a database instance.
+type Ontology struct {
+	rules *dependency.Set
+	data  *storage.Instance
+
+	classification *core.Report // lazily computed
+}
+
+// Parse builds an Ontology from a program text containing TGDs and
+// (optionally) ground facts. Query clauses in the text are rejected — pass
+// queries to Answer/Rewrite instead.
+func Parse(src string) (*Ontology, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Queries) != 0 {
+		return nil, fmt.Errorf("repro: ontology text contains %d query clauses; pass queries to Answer", len(prog.Queries))
+	}
+	rules, err := prog.RuleSet()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := rules.Predicates(); err != nil {
+		return nil, err
+	}
+	data, err := storage.FromAtoms(prog.Facts)
+	if err != nil {
+		return nil, err
+	}
+	return &Ontology{rules: rules, data: data}, nil
+}
+
+// MustParse is Parse panicking on error; for tests and examples.
+func MustParse(src string) *Ontology {
+	o, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// ParseFiles builds an Ontology from a rules file and zero or more data
+// files.
+func ParseFiles(rulesPath string, dataPaths ...string) (*Ontology, error) {
+	prog, err := parser.ParseFile(rulesPath)
+	if err != nil {
+		return nil, err
+	}
+	rules, err := prog.RuleSet()
+	if err != nil {
+		return nil, err
+	}
+	o := &Ontology{rules: rules, data: storage.NewInstance()}
+	for _, f := range prog.Facts {
+		if err := o.data.InsertAtom(f); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range dataPaths {
+		dp, err := parser.ParseFile(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(dp.Rules) != 0 || len(dp.Queries) != 0 {
+			return nil, fmt.Errorf("%s: data file contains rules or queries", p)
+		}
+		for _, f := range dp.Facts {
+			if err := o.data.InsertAtom(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return o, nil
+}
+
+// Rules returns the ontology's TGD set.
+func (o *Ontology) Rules() *dependency.Set { return o.rules }
+
+// Data returns the ontology's database instance.
+func (o *Ontology) Data() *storage.Instance { return o.data }
+
+// AddFact inserts one ground fact, parsed from text like `person(alice) .`.
+func (o *Ontology) AddFact(src string) error {
+	facts, err := parser.ParseFacts(src)
+	if err != nil {
+		return err
+	}
+	for _, f := range facts {
+		if err := o.data.InsertAtom(f); err != nil {
+			return err
+		}
+	}
+	o.invalidate()
+	return nil
+}
+
+func (o *Ontology) invalidate() {
+	// Data changes do not affect classification (it depends on rules
+	// only), so nothing to do today; kept for future rule mutation.
+}
+
+// Classify runs every class test of the paper's landscape (simple, Linear,
+// Multilinear, Sticky, Sticky-Join, Guarded, Domain-Restricted,
+// Weakly-Acyclic, Acyclic-GRD, SWR, WR) and recommends an answering
+// strategy. The report is cached.
+func (o *Ontology) Classify() *core.Report {
+	if o.classification == nil {
+		o.classification = core.Classify(o.rules)
+	}
+	return o.classification
+}
+
+// Rewriting is a compiled first-order rewriting of a query.
+type Rewriting struct {
+	// UCQ is the rewriting as a union of conjunctive queries.
+	UCQ *query.UCQ
+	// Complete reports whether the rewriting reached a fixpoint; when
+	// false (non-FO-rewritable input hit its budget), evaluating it yields
+	// a sound subset of the certain answers.
+	Complete bool
+	// Stats carries the engine's counters.
+	Stats *rewrite.Result
+}
+
+// SQL renders the rewriting as a SQL statement over tables named after the
+// predicates (columns c1..ck).
+func (r *Rewriting) SQL() (string, error) {
+	return sqlgen.UCQ(r.UCQ, sqlgen.Options{Distinct: true, Pretty: true})
+}
+
+// String renders the rewriting as UCQ clauses.
+func (r *Rewriting) String() string { return r.UCQ.String() }
+
+// ParseQuery parses a single conjunctive query clause such as
+// `q(X) :- person(X), hasParent(X, Y) .`.
+func ParseQuery(src string) (*query.CQ, error) {
+	pq, err := parser.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return query.New(pq.Head, pq.Body)
+}
+
+// Rewrite compiles the query into a first-order rewriting with the default
+// engine options.
+func (o *Ontology) Rewrite(querySrc string) (*Rewriting, error) {
+	q, err := ParseQuery(querySrc)
+	if err != nil {
+		return nil, err
+	}
+	return o.RewriteCQ(q), nil
+}
+
+// RewriteCQ compiles an already-parsed query.
+func (o *Ontology) RewriteCQ(q *query.CQ) *Rewriting {
+	res := rewrite.Rewrite(q, o.rules, rewrite.DefaultOptions())
+	return &Rewriting{UCQ: res.UCQ, Complete: res.Complete, Stats: res}
+}
+
+// Answers is the set of certain-answer tuples.
+type Answers = eval.Answers
+
+// AnswerMode selects the expansion technique used by Answer.
+type AnswerMode int
+
+// Answering modes.
+const (
+	// ModeAuto rewrites when the classification certifies
+	// FO-rewritability, otherwise chases.
+	ModeAuto AnswerMode = iota
+	// ModeRewrite forces query rewriting.
+	ModeRewrite
+	// ModeChase forces chase-based materialization.
+	ModeChase
+)
+
+// Answer computes the certain answers cert(q, P, D) for the query over the
+// ontology. In ModeAuto the strategy follows the classification; the
+// returned mode tells which technique ran.
+func (o *Ontology) Answer(querySrc string) (*Answers, error) {
+	return o.AnswerMode(querySrc, ModeAuto)
+}
+
+// AnswerMode is Answer with an explicit technique.
+func (o *Ontology) AnswerMode(querySrc string, mode AnswerMode) (*Answers, error) {
+	q, err := ParseQuery(querySrc)
+	if err != nil {
+		return nil, err
+	}
+	if mode == ModeAuto {
+		if o.Classify().FORewritable {
+			mode = ModeRewrite
+		} else {
+			mode = ModeChase
+		}
+	}
+	switch mode {
+	case ModeRewrite:
+		rw := o.RewriteCQ(q)
+		if !rw.Complete {
+			return nil, fmt.Errorf("repro: rewriting did not reach a fixpoint (budget hit); use ModeChase")
+		}
+		return eval.UCQ(rw.UCQ, o.data, eval.Options{FilterNulls: true}), nil
+	case ModeChase:
+		res := chase.Run(o.rules, o.data, chase.Options{})
+		if !res.Terminated {
+			return nil, fmt.Errorf("repro: chase did not terminate within budget (%d steps)", res.Steps)
+		}
+		u := query.MustNewUCQ(q)
+		return eval.UCQ(u, res.Instance, eval.Options{FilterNulls: true}), nil
+	default:
+		return nil, fmt.Errorf("repro: unknown answer mode %d", mode)
+	}
+}
+
+// Chase materializes the ontology: data expanded with every rule
+// consequence (restricted chase, default budgets).
+func (o *Ontology) Chase() *chase.Result {
+	return chase.Run(o.rules, o.data, chase.Options{})
+}

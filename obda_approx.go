@@ -1,0 +1,116 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/chase"
+	"repro/internal/eval"
+	"repro/internal/query"
+	"repro/internal/rewrite"
+)
+
+// LoadCSV bulk-loads tuples for one predicate from CSV data into the
+// ontology's database (every record one tuple of constants).
+func (o *Ontology) LoadCSV(pred string, r io.Reader) (added int, err error) {
+	return o.data.LoadCSV(pred, r)
+}
+
+// Approx is the outcome of approximate query answering (paper §7: what to
+// do when the rule set cannot be certified FO-rewritable, or is not).
+type Approx struct {
+	// Answers is a sound under-approximation of cert(q, P, D): every tuple
+	// is a certain answer; some certain answers may be missing unless
+	// Exact is true.
+	Answers *Answers
+	// Exact reports whether the approximation is known to be complete —
+	// true when either expansion reached its fixpoint within budget.
+	Exact bool
+	// RewritingComplete and ChaseTerminated tell which side certified
+	// exactness (both may be true).
+	RewritingComplete bool
+	ChaseTerminated   bool
+	// QueryRewritable reports per-query FO-rewritability: even over a rule
+	// set that no class test certifies, this particular query's rewriting
+	// may reach a fixpoint — the paper's "query pattern" idea of tackling
+	// case (ii)/(iii) query by query.
+	QueryRewritable bool
+}
+
+// ApproxOptions bounds the approximation work.
+type ApproxOptions struct {
+	// MaxCQs bounds the rewriting pool (0 = default 2000).
+	MaxCQs int
+	// MaxChaseSteps bounds the chase (0 = default 50000).
+	MaxChaseSteps int
+}
+
+func (a ApproxOptions) withDefaults() ApproxOptions {
+	if a.MaxCQs == 0 {
+		a.MaxCQs = 2000
+	}
+	if a.MaxChaseSteps == 0 {
+		a.MaxChaseSteps = 50000
+	}
+	return a
+}
+
+// AnswerApprox computes certain answers with both expansion techniques
+// under budgets and unions the (individually sound) results. Useful when
+// Classify cannot certify the rule set: if the query's own rewriting
+// reaches a fixpoint, or the chase terminates, the result is exact and
+// flagged as such; otherwise it is a sound under-approximation.
+func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, error) {
+	opts = opts.withDefaults()
+	q, err := ParseQuery(querySrc)
+	if err != nil {
+		return nil, err
+	}
+
+	rw := rewrite.Rewrite(q, o.rules, rewrite.Options{MaxCQs: opts.MaxCQs, Minimize: true})
+	if rw.Complete {
+		// Exact via rewriting; evaluating over the raw data suffices and
+		// the chase need not run at all.
+		return &Approx{
+			Answers:           eval.UCQ(rw.UCQ, o.data, eval.Options{FilterNulls: true}),
+			Exact:             true,
+			RewritingComplete: true,
+			QueryRewritable:   true,
+		}, nil
+	}
+	ch := chase.Run(o.rules, o.data, chase.Options{MaxSteps: opts.MaxChaseSteps})
+
+	res := &Approx{
+		RewritingComplete: rw.Complete,
+		ChaseTerminated:   ch.Terminated,
+		QueryRewritable:   rw.Complete,
+		Exact:             rw.Complete || ch.Terminated,
+	}
+
+	switch {
+	case ch.Terminated:
+		// Exact via the chase.
+		res.Answers = eval.UCQ(query.MustNewUCQ(q), ch.Instance, eval.Options{FilterNulls: true})
+	default:
+		// Both truncated: each is sound, so their union is a sound
+		// under-approximation (the truncated rewriting evaluated on raw
+		// data only uses certain disjuncts; the truncated chase contains
+		// only entailed facts).
+		ans := eval.UCQ(rw.UCQ, o.data, eval.Options{FilterNulls: true})
+		for _, t := range eval.UCQ(query.MustNewUCQ(q), ch.Instance, eval.Options{FilterNulls: true}).Tuples() {
+			ans.Add(t)
+		}
+		res.Answers = ans
+	}
+	return res, nil
+}
+
+// String summarizes the approximation status.
+func (a *Approx) String() string {
+	status := "sound under-approximation"
+	if a.Exact {
+		status = "exact"
+	}
+	return fmt.Sprintf("%d answers (%s; rewriting complete=%v, chase terminated=%v)",
+		a.Answers.Len(), status, a.RewritingComplete, a.ChaseTerminated)
+}

@@ -1,0 +1,199 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/storage"
+)
+
+const universityMini = `
+% rules
+student(X) -> person(X) .
+teacher(X) -> person(X) .
+person(X) -> hasParent(X, Y) .
+% data
+student(alice) .
+teacher(bob) .
+hasParent(alice, carol) .
+`
+
+func TestParseMixed(t *testing.T) {
+	o := MustParse(universityMini)
+	if o.Rules().Len() != 3 {
+		t.Errorf("rules = %d", o.Rules().Len())
+	}
+	if o.Data().Size() != 3 {
+		t.Errorf("facts = %d", o.Data().Size())
+	}
+}
+
+func TestParseRejectsQueries(t *testing.T) {
+	if _, err := Parse(`q(X) :- p(X) .`); err == nil {
+		t.Error("queries in ontology text must be rejected")
+	}
+}
+
+func TestParseRejectsArityConflicts(t *testing.T) {
+	if _, err := Parse(`p(X) -> q(X) . p(X,Y) -> q(X) .`); err == nil {
+		t.Error("arity conflicts must be rejected at parse time")
+	}
+}
+
+func TestClassifyAndStrategy(t *testing.T) {
+	o := MustParse(universityMini)
+	rep := o.Classify()
+	if !rep.FORewritable {
+		t.Fatal("hierarchy + existential must be FO-rewritable")
+	}
+	if rep.Strategy() != "rewrite" {
+		t.Errorf("strategy = %q", rep.Strategy())
+	}
+	if rep2 := o.Classify(); rep2 != rep {
+		t.Error("classification must be cached")
+	}
+}
+
+func TestAnswerAuto(t *testing.T) {
+	o := MustParse(universityMini)
+	ans, err := o.Answer(`q(X) :- person(X) .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 2 {
+		t.Fatalf("answers = %v, want alice and bob", ans)
+	}
+	for _, name := range []string{"alice", "bob"} {
+		if !ans.Contains(storage.Tuple{logic.NewConst(name)}) {
+			t.Errorf("missing %s", name)
+		}
+	}
+}
+
+func TestAnswerModesAgree(t *testing.T) {
+	o := MustParse(universityMini)
+	q := `q(X) :- hasParent(X, Y) .`
+	rw, err := o.AnswerMode(q, ModeRewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := o.AnswerMode(q, ModeChase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rw.Equal(ch) {
+		t.Errorf("modes disagree:\nrewrite: %v\nchase: %v", rw, ch)
+	}
+	// Everyone has a parent (alice, bob via the existential rule).
+	if rw.Len() != 2 {
+		t.Errorf("answers = %v", rw)
+	}
+}
+
+func TestAnswerWithConstant(t *testing.T) {
+	o := MustParse(universityMini)
+	ans, err := o.Answer(`q() :- hasParent(alice, carol) .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 1 {
+		t.Error("boolean query must hold")
+	}
+	none, err := o.Answer(`q() :- hasParent(bob, carol) .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Len() != 0 {
+		t.Error("bob's parent is an unknown null, not carol")
+	}
+}
+
+func TestRewriteAndSQL(t *testing.T) {
+	o := MustParse(universityMini)
+	rw, err := o.Rewrite(`q(X) :- person(X) .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rw.Complete || rw.UCQ.Len() != 3 {
+		t.Fatalf("rewriting = %d disjuncts (complete=%v):\n%s",
+			rw.UCQ.Len(), rw.Complete, rw)
+	}
+	sql, err := rw.SQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range []string{`"person"`, `"student"`, `"teacher"`, "UNION"} {
+		if !strings.Contains(sql, tbl) {
+			t.Errorf("SQL missing %s:\n%s", tbl, sql)
+		}
+	}
+}
+
+func TestAddFact(t *testing.T) {
+	o := MustParse(`student(X) -> person(X) .`)
+	if err := o.AddFact(`student(dora) .`); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := o.Answer(`q(X) :- person(X) .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 1 {
+		t.Errorf("answers = %v", ans)
+	}
+}
+
+func TestChaseFacade(t *testing.T) {
+	o := MustParse(universityMini)
+	res := o.Chase()
+	if !res.Terminated {
+		t.Fatal("chase must terminate")
+	}
+	if res.Instance.Relation("person") == nil {
+		t.Error("chase must derive person facts")
+	}
+	// Original data untouched.
+	if o.Data().Relation("person") != nil {
+		t.Error("Chase must not mutate the ontology's data")
+	}
+}
+
+func TestAnswerChaseOnNonRewritable(t *testing.T) {
+	// Paper Example 2: not FO-rewritable but weakly acyclic; ModeAuto must
+	// fall back to the chase and succeed.
+	o := MustParse(`
+t(Y1,Y2), r(Y3,Y4) -> s(Y1,Y3,Y2) .
+s(Y1,Y1,Y2) -> r(Y2,Y3) .
+t(a,a) .
+r(a,b) .
+`)
+	rep := o.Classify()
+	if rep.FORewritable {
+		t.Fatal("Example 2 must not be FO-rewritable")
+	}
+	ans, err := o.Answer(`q(X,Y,Z) :- s(X,Y,Z) .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 1 || !ans.Contains(storage.Tuple{
+		logic.NewConst("a"), logic.NewConst("a"), logic.NewConst("a")}) {
+		t.Errorf("answers = %v, want {(a,a,a)}", ans)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	if _, err := ParseQuery(`p(X) -> q(X) .`); err == nil {
+		t.Error("rules must be rejected by ParseQuery")
+	}
+	if _, err := ParseQuery(`q(X) :- `); err == nil {
+		t.Error("truncated query must error")
+	}
+}
+
+func TestAnswerModeUnknown(t *testing.T) {
+	o := MustParse(`a(X) -> b(X) .`)
+	if _, err := o.AnswerMode(`q(X) :- b(X) .`, AnswerMode(99)); err == nil {
+		t.Error("unknown mode must error")
+	}
+}
