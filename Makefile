@@ -1,0 +1,29 @@
+# Mirrors .github/workflows/ci.yml exactly: CI runs `make lint build test
+# bench` step by step; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test bench lint bench-json
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Benchmark smoke pass: compile and run every benchmark once.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+
+# Machine-readable benchmark baseline: one timed pass per benchmark,
+# rendered to JSON for the perf trajectory (BENCH_1.json was produced by
+# this target).
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | $(GO) run ./cmd/benchjson

@@ -287,6 +287,71 @@ c(X,Y) -> x3(X) .
 	}
 }
 
+// --- P1: parallel chase and evaluation -----------------------------------
+
+// BenchmarkParallelChase materializes the university ontology with the
+// semi-naive chase at growing worker counts. The workers=1 run is the
+// sequential baseline the speedup criterion is measured against; gains
+// require actual cores (GOMAXPROCS).
+func BenchmarkParallelChase(b *testing.B) {
+	rules := datagen.University()
+	data := datagen.UniversityData(16, 1)
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := chase.Run(rules, data, chase.Options{Parallelism: p})
+				if !res.Terminated {
+					b.Fatal("chase must terminate")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelUCQEvaluation evaluates a precompiled rewriting (a
+// multi-CQ union) at growing worker counts: the CQs run concurrently and
+// each join's outer loop is sharded.
+func BenchmarkParallelUCQEvaluation(b *testing.B) {
+	rules := datagen.University()
+	pq := parser.MustParseQuery(`q(X) :- person(X) .`)
+	q := query.MustNew(pq.Head, pq.Body)
+	res := rewrite.Rewrite(q, rules, rewrite.DefaultOptions())
+	if !res.Complete {
+		b.Fatal("rewriting must complete")
+	}
+	data := datagen.UniversityData(64, 1)
+	data.EnsureIndexes()
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			var n int
+			for i := 0; i < b.N; i++ {
+				ans := eval.UCQ(res.UCQ, data, eval.Options{FilterNulls: true, Parallelism: p})
+				n = ans.Len()
+			}
+			b.ReportMetric(float64(n), "answers")
+		})
+	}
+}
+
+// BenchmarkParallelCQJoin shards the outer loop of a single 2-way join.
+func BenchmarkParallelCQJoin(b *testing.B) {
+	rules := parser.MustParseRules(`a(X,Y) -> x1(X) .`)
+	pq := parser.MustParseQuery(`q(X,Z) :- a(X,Y), a(Y,Z) .`)
+	q := query.MustNew(pq.Head, pq.Body)
+	data := datagen.Instance(rules, 2000, 200, 3)
+	data.EnsureIndexes()
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eval.CQ(q, data, eval.Options{Parallelism: p})
+			}
+		})
+	}
+}
+
 // --- Ablations: design choices called out in DESIGN.md -------------------
 
 // BenchmarkAblationMinimize compares the rewriting engine with and without

@@ -21,6 +21,7 @@ func main() {
 	dataPath := flag.String("data", "", "path to a .data file")
 	querySrc := flag.String("query", "", "conjunctive query")
 	mode := flag.String("mode", "auto", "auto | rewrite | chase")
+	parallel := flag.Int("parallel", 1, "worker count for chase and evaluation (1 = sequential)")
 	flag.Parse()
 	if *rulesPath == "" || *querySrc == "" {
 		fmt.Fprintln(os.Stderr, "usage: answer -rules FILE [-data FILE] -query 'q(X) :- ... .' [-mode M]")
@@ -47,7 +48,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
-	ans, err := ont.AnswerMode(*querySrc, m)
+	ans, err := ont.AnswerOptions(*querySrc, repro.Options{Mode: m, Parallelism: *parallel})
 	if err != nil {
 		fatal(err)
 	}

@@ -21,6 +21,7 @@ func main() {
 	dataPath := flag.String("data", "", "path to a .data file of facts")
 	oblivious := flag.Bool("oblivious", false, "use the semi-oblivious chase")
 	maxSteps := flag.Int("max-steps", 0, "step budget (0 = default)")
+	parallel := flag.Int("parallel", 1, "worker count for the chase (1 = sequential)")
 	flag.Parse()
 	if *rulesPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: chase -rules FILE [-data FILE] [-oblivious]")
@@ -51,7 +52,7 @@ func main() {
 			}
 		}
 	}
-	opts := chase.Options{MaxSteps: *maxSteps}
+	opts := chase.Options{MaxSteps: *maxSteps, Parallelism: *parallel}
 	if *oblivious {
 		opts.Variant = chase.Oblivious
 	}

@@ -5,10 +5,23 @@
 // is not already satisfied) are provided, with labelled-null invention for
 // existential head variables, round-based fair scheduling, and step/round
 // budgets so non-terminating rule sets are handled gracefully.
+//
+// The engine is a semi-naive, delta-driven fixpoint: each round enumerates
+// only the triggers in which at least one body atom matches a fact derived
+// in the previous round (the delta), instead of re-joining the whole
+// instance. Within a round the work fans out over a worker pool
+// (Options.Parallelism): trigger collection is parallel over (rule, delta
+// atom) tasks against the frozen instance, and trigger firing is parallel
+// over trigger chunks with per-worker sharded writes (storage.Shard) that
+// are merged coordination-free at the round barrier. The parallel chase
+// yields the same certain answers as the sequential one; only labelled-null
+// names and redundant-null counts may differ.
 package chase
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dependency"
 	"repro/internal/eval"
@@ -46,6 +59,10 @@ type Options struct {
 	MaxSteps int
 	// MaxRounds bounds the number of fair rounds (0 = default 1000).
 	MaxRounds int
+	// Parallelism is the worker count for trigger collection and firing
+	// within a round (0 or 1 = sequential). The resulting instance is a
+	// valid chase for any value; certain answers are identical.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -54,6 +71,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRounds == 0 {
 		o.MaxRounds = 1000
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
 	}
 	return o
 }
@@ -73,71 +93,246 @@ type Result struct {
 	NullsCreated int
 }
 
+// trigger is one candidate rule application: a rule index and the full-body
+// binding restricted to the body variables.
+type trigger struct {
+	rule     int
+	frontier logic.Subst
+}
+
 // Run chases data with rules. The input instance is not modified.
 func Run(rules *dependency.Set, data *storage.Instance, opts Options) *Result {
 	opts = opts.withDefaults()
 	ins := data.Clone()
-	gen := logic.NewVarGen("n")
 	res := &Result{Instance: ins}
+	workers := opts.Parallelism
 
-	// fired remembers oblivious-chase triggers (rule + frontier binding) so
-	// each fires at most once.
-	fired := make(map[string]bool)
+	// Per-worker null generators with disjoint prefixes ("n#…", "n1#…",
+	// "n2#…"): invention needs no coordination, and names cannot collide
+	// with parser-produced terms (the lexer rejects '#').
+	gens := make([]*logic.VarGen, workers)
+	for w := range gens {
+		prefix := "n"
+		if w > 0 {
+			prefix = fmt.Sprintf("n%d", w)
+		}
+		gens[w] = logic.NewVarGen(prefix)
+	}
+
+	var steps atomic.Int64
+	var truncated atomic.Bool
+
+	// fired remembers semi-oblivious triggers (rule + frontier binding)
+	// across rounds so each fires at most once per frontier, not once per
+	// body binding: an existential body variable rebound to a fresh null
+	// must not re-fire the rule.
+	var fired map[string]bool
+	if opts.Variant == Oblivious {
+		fired = make(map[string]bool)
+	}
+
+	// Round zero's delta is the whole input: every initial fact is "new".
+	// Aliasing ins is safe — rounds only read the delta, writes are
+	// buffered in shards until the barrier.
+	delta := ins
 
 	for res.Rounds < opts.MaxRounds {
 		res.Rounds++
-		progressed := false
-		for _, rule := range rules.Rules {
-			// Collect triggers first: mutating while matching would make
-			// fairness and termination detection unreliable.
-			type trigger struct{ frontier logic.Subst }
-			var triggers []trigger
-			frontierVars := rule.Distinguished()
-			bodyVars := rule.BodyVars()
-			eval.Matches(rule.Body, ins, func(s logic.Subst) bool {
-				triggers = append(triggers, trigger{frontier: s.Restrict(bodyVars)})
-				return true
-			})
+
+		// Freeze the instance for this round: indexes pre-built, all reads
+		// below are lock-free and race-free, all writes buffered in shards.
+		ins.EnsureIndexes()
+
+		triggers := collectTriggers(rules, ins, delta, workers)
+		if opts.Variant == Oblivious {
+			kept := triggers[:0]
 			for _, tr := range triggers {
-				if res.Steps >= opts.MaxSteps {
-					return res
-				}
-				if opts.Variant == Oblivious {
-					key := triggerKey(rule, tr.frontier, frontierVars)
-					if fired[key] {
-						continue
-					}
+				key := fmt.Sprintf("%d\x00", tr.rule) +
+					bindingKey(tr.frontier, rules.Rules[tr.rule].Distinguished())
+				if !fired[key] {
 					fired[key] = true
-				} else if headSatisfied(rule, tr.frontier, ins) {
+					kept = append(kept, tr)
+				}
+			}
+			triggers = kept
+		}
+		if len(triggers) == 0 {
+			res.Steps = int(steps.Load())
+			res.Terminated = true
+			return res
+		}
+
+		// Fire the round's triggers: chunked across workers, each writing
+		// into a private shard against the frozen instance.
+		shards := make([]*storage.Shard, workers)
+		nulls := make([]int, workers)
+		runTasks(workers, workers, func(w int) {
+			shard := storage.NewShard()
+			shards[w] = shard
+			for i := w; i < len(triggers); i += workers {
+				if truncated.Load() {
+					return
+				}
+				tr := triggers[i]
+				rule := rules.Rules[tr.rule]
+				if opts.Variant == Restricted && headSatisfied(rule, tr.frontier, ins) {
 					continue
 				}
-				res.Steps++
+				if n := steps.Add(1); int(n) > opts.MaxSteps {
+					steps.Add(-1)
+					truncated.Store(true)
+					return
+				}
 				// Instantiate head: frontier variables from the trigger,
 				// existential head variables as fresh nulls.
 				inst := tr.frontier.Clone()
 				for _, e := range rule.ExistentialHead() {
-					inst.Bind(e, gen.FreshNull())
-					res.NullsCreated++
+					inst.Bind(e, gens[w].FreshNull())
+					nulls[w]++
 				}
 				for _, h := range rule.Head {
-					added, err := ins.Insert(inst.ApplyAtom(h))
-					if err != nil {
+					if _, err := shard.Insert(inst.ApplyAtom(h)); err != nil {
 						// Arity conflicts are caught at rule-set validation;
 						// reaching here is a programming error.
 						panic(err)
 					}
-					if added {
-						progressed = true
-					}
 				}
 			}
+		})
+
+		// Round barrier: single-writer merge of all shards, producing the
+		// next delta.
+		newDelta, err := ins.MergeShards(shards...)
+		if err != nil {
+			panic(err)
 		}
-		if !progressed {
+		for _, n := range nulls {
+			res.NullsCreated += n
+		}
+		res.Steps = int(steps.Load())
+		if truncated.Load() {
+			return res
+		}
+		if newDelta.Size() == 0 {
 			res.Terminated = true
 			return res
 		}
+		delta = newDelta
 	}
 	return res
+}
+
+// collectTriggers enumerates, semi-naively, every rule binding with at least
+// one body atom in delta: task (rule, i) pins body atom i to delta facts and
+// joins the remaining atoms against the full frozen instance. Bindings found
+// through several delta atoms are deduplicated at the merge, preserving task
+// order so the sequential path stays deterministic.
+func collectTriggers(rules *dependency.Set, ins, delta *storage.Instance, workers int) []trigger {
+	type task struct {
+		rule int
+		atom int
+	}
+	var tasks []task
+	for ri, rule := range rules.Rules {
+		for bi, a := range rule.Body {
+			if rel := delta.Relation(a.Pred); rel != nil && rel.Arity() == a.Arity() {
+				tasks = append(tasks, task{rule: ri, atom: bi})
+			}
+		}
+	}
+	found := make([][]trigger, len(tasks))
+	runTasks(len(tasks), workers, func(ti int) {
+		t := tasks[ti]
+		rule := rules.Rules[t.rule]
+		bodyVars := rule.BodyVars()
+		rest := make([]logic.Atom, 0, len(rule.Body)-1)
+		rest = append(rest, rule.Body[:t.atom]...)
+		rest = append(rest, rule.Body[t.atom+1:]...)
+		seen := make(map[string]bool)
+		for _, tuple := range delta.Relation(rule.Body[t.atom].Pred).Tuples() {
+			seed, ok := seedFromTuple(rule.Body[t.atom], tuple)
+			if !ok {
+				continue
+			}
+			eval.MatchesSeeded(rest, ins, seed, func(s logic.Subst) bool {
+				frontier := s.Restrict(bodyVars)
+				key := bindingKey(frontier, bodyVars)
+				if !seen[key] {
+					seen[key] = true
+					found[ti] = append(found[ti], trigger{rule: t.rule, frontier: frontier})
+				}
+				return true
+			})
+		}
+	})
+	// Merge, deduplicating across tasks of the same rule (a binding with two
+	// delta atoms is found once per delta atom).
+	var out []trigger
+	seen := make(map[int]map[string]bool, len(rules.Rules))
+	for ti, trs := range found {
+		ruleSeen := seen[tasks[ti].rule]
+		if ruleSeen == nil {
+			ruleSeen = make(map[string]bool)
+			seen[tasks[ti].rule] = ruleSeen
+		}
+		bodyVars := rules.Rules[tasks[ti].rule].BodyVars()
+		for _, tr := range trs {
+			key := bindingKey(tr.frontier, bodyVars)
+			if !ruleSeen[key] {
+				ruleSeen[key] = true
+				out = append(out, tr)
+			}
+		}
+	}
+	return out
+}
+
+// seedFromTuple unifies one body atom with a ground tuple, producing the
+// seed binding for the semi-naive join (or false on clash: a constant
+// mismatch or an inconsistent repeated variable).
+func seedFromTuple(a logic.Atom, t storage.Tuple) (logic.Subst, bool) {
+	s := logic.NewSubst()
+	for j, arg := range a.Args {
+		w := s.Walk(arg)
+		switch {
+		case w.IsVar():
+			s.Bind(w, t[j])
+		case w == t[j]:
+		default:
+			return nil, false
+		}
+	}
+	return s, true
+}
+
+// runTasks executes fn(0..n-1) on up to `workers` goroutines; with one
+// worker it runs inline, so the sequential path pays no scheduling cost.
+func runTasks(n, workers int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // headSatisfied reports whether the rule head, with frontier variables bound
@@ -153,8 +348,9 @@ func headSatisfied(rule *dependency.TGD, frontier logic.Subst, ins *storage.Inst
 	return found
 }
 
-func triggerKey(rule *dependency.TGD, frontier logic.Subst, vars []logic.Term) string {
-	key := rule.Label + "\x00"
+// bindingKey canonically encodes a body binding for deduplication.
+func bindingKey(frontier logic.Subst, vars []logic.Term) string {
+	key := ""
 	for _, v := range vars {
 		t := frontier.Walk(v)
 		key += fmt.Sprintf("%d%s\x00", t.Kind, t.Name)
@@ -166,9 +362,10 @@ func triggerKey(rule *dependency.TGD, frontier logic.Subst, vars []logic.Term) s
 // only null-free tuples. When the chase terminated, the result is exactly
 // cert(q, P, D); when truncated, it is a sound under-approximation
 // (every reported tuple is a certain answer, but some may be missing).
+// Evaluation inherits the chase's Parallelism.
 func CertainAnswers(u *query.UCQ, rules *dependency.Set, data *storage.Instance, opts Options) (*eval.Answers, *Result) {
 	res := Run(rules, data, opts)
-	ans := eval.UCQ(u, res.Instance, eval.Options{FilterNulls: true})
+	ans := eval.UCQ(u, res.Instance, eval.Options{FilterNulls: true, Parallelism: opts.Parallelism})
 	return ans, res
 }
 

@@ -8,6 +8,7 @@ package eval
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/logic"
 	"repro/internal/query"
@@ -21,6 +22,19 @@ type Options struct {
 	FilterNulls bool
 	// Limit stops after this many distinct answers (0 = unlimited).
 	Limit int
+	// Parallelism is the number of workers evaluating a query: the CQs of a
+	// UCQ run concurrently, and the outer loop of each backtracking join is
+	// sharded across workers. 0 or 1 means sequential. Limit > 0 forces the
+	// sequential path (a deterministic prefix is only defined sequentially).
+	Parallelism int
+}
+
+// workers returns the effective worker count.
+func (o Options) workers() int {
+	if o.Parallelism > 1 && o.Limit == 0 {
+		return o.Parallelism
+	}
+	return 1
 }
 
 // Answers is a deduplicated set of answer tuples.
@@ -104,25 +118,26 @@ func (a *Answers) String() string {
 	return strings.Join(lines, "\n")
 }
 
-// CQ evaluates a conjunctive query over the instance.
+// CQ evaluates a conjunctive query over the instance. With
+// Options.Parallelism > 1 the outer loop of the backtracking join is sharded
+// across workers; the answer set is identical to the sequential result.
 func CQ(q *query.CQ, ins *storage.Instance, opts Options) *Answers {
+	if p := opts.workers(); p > 1 {
+		return parallelEval([]*query.CQ{q}, q.Arity(), ins, opts, p)
+	}
 	out := NewAnswers(q.Arity())
-	enumerateMatches(q.Body, ins, func(binding logic.Subst) bool {
-		tuple := make(storage.Tuple, len(q.Head.Args))
-		for i, t := range q.Head.Args {
-			tuple[i] = binding.Walk(t)
-		}
-		if opts.FilterNulls && tuple.HasNull() {
-			return true
-		}
-		out.Add(tuple)
-		return opts.Limit == 0 || out.Len() < opts.Limit
-	})
+	evalShard(q, ins, opts, 0, 1, out)
 	return out
 }
 
-// UCQ evaluates a union of conjunctive queries, unioning the answers.
+// UCQ evaluates a union of conjunctive queries, unioning the answers. With
+// Options.Parallelism > 1 the member CQs are evaluated concurrently and each
+// join's outer loop is sharded; the answer set is identical to the
+// sequential result.
 func UCQ(u *query.UCQ, ins *storage.Instance, opts Options) *Answers {
+	if p := opts.workers(); p > 1 {
+		return parallelEval(u.CQs, u.Arity(), ins, opts, p)
+	}
 	out := NewAnswers(u.Arity())
 	for _, q := range u.CQs {
 		for _, t := range CQ(q, ins, opts).Tuples() {
@@ -133,6 +148,68 @@ func UCQ(u *query.UCQ, ins *storage.Instance, opts Options) *Answers {
 		}
 	}
 	return out
+}
+
+// parallelEval fans the (CQ × outer-shard) work units of a UCQ out over p
+// workers. Each worker accumulates into a private Answers (no locks on the
+// hot path); the privates are merged into the deduplicating result at the
+// end. Indexes are pre-built so workers never race on the lazy build.
+func parallelEval(cqs []*query.CQ, arity int, ins *storage.Instance, opts Options, p int) *Answers {
+	ins.EnsureIndexes()
+	type unit struct {
+		q     *query.CQ
+		shard int
+	}
+	units := make([]unit, 0, len(cqs)*p)
+	for _, q := range cqs {
+		for s := 0; s < p; s++ {
+			units = append(units, unit{q: q, shard: s})
+		}
+	}
+	results := make([]*Answers, len(units))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out := NewAnswers(arity)
+				evalShard(units[i].q, ins, opts, units[i].shard, p, out)
+				results[i] = out
+			}
+		}()
+	}
+	for i := range units {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	merged := NewAnswers(arity)
+	for _, r := range results {
+		for _, t := range r.Tuples() {
+			merged.Add(t)
+		}
+	}
+	return merged
+}
+
+// evalShard runs one shard of a CQ's backtracking join, adding head tuples
+// to out. Shard k of n enumerates only every n-th candidate of the outermost
+// atom, so the n shards partition the match space exactly.
+func evalShard(q *query.CQ, ins *storage.Instance, opts Options, shard, nshards int, out *Answers) {
+	order := planOrder(q.Body, ins, nil)
+	enumerateShard(order, ins, nil, shard, nshards, func(binding logic.Subst) bool {
+		tuple := make(storage.Tuple, len(q.Head.Args))
+		for i, t := range q.Head.Args {
+			tuple[i] = binding.Walk(t)
+		}
+		if opts.FilterNulls && tuple.HasNull() {
+			return true
+		}
+		out.Add(tuple)
+		return opts.Limit == 0 || out.Len() < opts.Limit
+	})
 }
 
 // Holds reports whether a boolean query (arity 0) is satisfied.
@@ -146,12 +223,29 @@ func Holds(q *query.CQ, ins *storage.Instance, opts Options) bool {
 // stops when yield returns false. The substitution passed to yield is
 // reused across calls — callers must copy what they keep.
 func Matches(body []logic.Atom, ins *storage.Instance, yield func(logic.Subst) bool) {
-	enumerateMatches(body, ins, yield)
+	MatchesSeeded(body, ins, nil, yield)
 }
 
-func enumerateMatches(body []logic.Atom, ins *storage.Instance, yield func(logic.Subst) bool) {
-	order := planOrder(body, ins)
+// MatchesSeeded is Matches with an initial binding: only extensions of seed
+// are enumerated. The semi-naive chase uses it to pin one body atom to a
+// delta fact and join the remaining atoms against the full instance.
+func MatchesSeeded(body []logic.Atom, ins *storage.Instance, seed logic.Subst, yield func(logic.Subst) bool) {
+	seedVars := make([]logic.Term, 0, len(seed))
+	for v := range seed {
+		seedVars = append(seedVars, v)
+	}
+	order := planOrder(body, ins, seedVars)
+	enumerateShard(order, ins, seed, 0, 1, yield)
+}
+
+// enumerateShard backtracks over the (already planned) atom order, starting
+// from the seed binding. Shard k of nshards restricts the outermost atom to
+// every nshards-th candidate; with nshards == 1 it is the plain enumeration.
+func enumerateShard(order []logic.Atom, ins *storage.Instance, seed logic.Subst, shard, nshards int, yield func(logic.Subst) bool) {
 	binding := logic.NewSubst()
+	for v, t := range seed {
+		binding[v] = t
+	}
 	var rec func(i int) bool
 	rec = func(i int) bool {
 		if i == len(order) {
@@ -165,6 +259,13 @@ func enumerateMatches(body []logic.Atom, ins *storage.Instance, yield func(logic
 		// Choose the most selective access path: an index lookup on a bound
 		// column if any, else a scan.
 		candIdx := candidateOffsets(a, rel, binding)
+		if i == 0 && nshards > 1 {
+			strided := make([]int, 0, len(candIdx)/nshards+1)
+			for j := shard; j < len(candIdx); j += nshards {
+				strided = append(strided, candIdx[j])
+			}
+			candIdx = strided
+		}
 		for _, off := range candIdx {
 			tuple := rel.Tuples()[off]
 			var undo []logic.Term
@@ -226,7 +327,9 @@ func candidateOffsets(a logic.Atom, rel *storage.Relation, binding logic.Subst) 
 
 // planOrder orders atoms for evaluation: smallest relations and most
 // constants first, then greedily by connectivity to already-planned atoms.
-func planOrder(body []logic.Atom, ins *storage.Instance) []logic.Atom {
+// Variables in seedVars count as bound from the start, steering the order
+// toward atoms the seed makes selective.
+func planOrder(body []logic.Atom, ins *storage.Instance, seedVars []logic.Term) []logic.Atom {
 	scored := make([]logic.Atom, len(body))
 	copy(scored, body)
 	size := func(a logic.Atom) int {
@@ -246,10 +349,13 @@ func planOrder(body []logic.Atom, ins *storage.Instance) []logic.Atom {
 
 	placed := make([]logic.Atom, 0, len(scored))
 	bound := make(map[logic.Term]bool)
+	for _, v := range seedVars {
+		bound[v] = true
+	}
 	remaining := scored
 	for len(remaining) > 0 {
 		best := 0
-		if len(placed) > 0 {
+		if len(bound) > 0 {
 			found := false
 			for i, a := range remaining {
 				for _, v := range a.Vars() {

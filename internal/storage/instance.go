@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/logic"
 )
@@ -44,13 +45,19 @@ func (t Tuple) Clone() Tuple {
 
 // Relation is a named, fixed-arity set of tuples with lazily built
 // per-column hash indexes.
+//
+// Concurrency contract: any number of goroutines may read (Lookup, Tuples,
+// Contains, Len) concurrently — the lazy index build is synchronized — as
+// long as no goroutine is inserting. Writes are single-writer: the chase
+// buffers new facts in per-worker Shards and merges them at a round barrier.
 type Relation struct {
 	name   string
 	arity  int
 	tuples []Tuple
 	keys   map[string]int // tuple key -> index into tuples
 	// index[col][term] lists tuple offsets having term at col.
-	index []map[logic.Term][]int
+	index     []map[logic.Term][]int
+	indexOnce sync.Once
 }
 
 // NewRelation creates an empty relation.
@@ -99,23 +106,30 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 
 // buildIndex materializes the per-column indexes.
 func (r *Relation) buildIndex() {
-	r.index = make([]map[logic.Term][]int, r.arity)
+	index := make([]map[logic.Term][]int, r.arity)
 	for col := 0; col < r.arity; col++ {
-		r.index[col] = make(map[logic.Term][]int)
+		index[col] = make(map[logic.Term][]int)
 	}
 	for i, t := range r.tuples {
 		for col, term := range t {
-			r.index[col][term] = append(r.index[col][term], i)
+			index[col][term] = append(index[col][term], i)
 		}
 	}
+	r.index = index
+}
+
+// EnsureIndex builds the per-column indexes if they are not built yet. It is
+// safe to call from concurrent readers; once it returns, Lookup is a pure
+// map read.
+func (r *Relation) EnsureIndex() {
+	r.indexOnce.Do(r.buildIndex)
 }
 
 // Lookup returns the offsets of tuples with the given term at column col
-// (0-based). Builds the index on first use.
+// (0-based). Builds the index on first use; see the Relation concurrency
+// contract.
 func (r *Relation) Lookup(col int, term logic.Term) []int {
-	if r.index == nil {
-		r.buildIndex()
-	}
+	r.EnsureIndex()
 	return r.index[col][term]
 }
 
@@ -216,6 +230,14 @@ func (ins *Instance) Atoms() []logic.Atom {
 		}
 	}
 	return out
+}
+
+// EnsureIndexes pre-builds the per-column indexes of every relation so that
+// subsequent concurrent readers never race on the lazy build.
+func (ins *Instance) EnsureIndexes() {
+	for _, r := range ins.rels {
+		r.EnsureIndex()
+	}
 }
 
 // Clone deep-copies the instance.

@@ -1,0 +1,56 @@
+package storage
+
+import "repro/internal/logic"
+
+// Shard is a coordination-free write buffer for one chase worker: new facts
+// accumulate here, deduplicated locally per predicate, while the shared
+// Instance stays frozen for concurrent readers. At the round barrier the
+// shards are merged into the instance single-threaded (MergeShards), which
+// also yields the round's delta. A Shard must only ever be used by one
+// goroutine.
+type Shard struct {
+	ins *Instance
+}
+
+// NewShard returns an empty write buffer.
+func NewShard() *Shard {
+	return &Shard{ins: NewInstance()}
+}
+
+// Insert buffers a ground atom, reporting whether it was new *to this
+// shard*. Arity conflicts with earlier buffered atoms are errors; conflicts
+// with the destination instance surface at merge time.
+func (s *Shard) Insert(a logic.Atom) (bool, error) {
+	return s.ins.Insert(a)
+}
+
+// Len returns the number of distinct buffered facts.
+func (s *Shard) Len() int { return s.ins.Size() }
+
+// MergeShards folds the buffered facts of every shard into the instance and
+// returns the delta: a fresh instance holding exactly the facts that were
+// genuinely new. Single-writer: callers invoke it at a barrier, with no
+// concurrent readers of ins.
+func (ins *Instance) MergeShards(shards ...*Shard) (*Instance, error) {
+	delta := NewInstance()
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		for p, r := range s.ins.rels {
+			for _, t := range r.Tuples() {
+				a := logic.Atom{Pred: p, Args: t}
+				added, err := ins.Insert(a)
+				if err != nil {
+					return nil, err
+				}
+				if added {
+					if _, err := delta.Insert(a); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return delta, nil
+}

@@ -221,19 +221,37 @@ const (
 	ModeChase
 )
 
+// Options tunes how certain answers are computed.
+type Options struct {
+	// Mode selects the expansion technique (default ModeAuto).
+	Mode AnswerMode
+	// Parallelism is the worker count used by chase materialization and by
+	// UCQ evaluation: the chase fans rule applications out over a pool with
+	// sharded writes, evaluation runs the CQs of the rewriting (and the
+	// outer loop of each join) concurrently. 0 or 1 means sequential. Any
+	// value yields the same answer set.
+	Parallelism int
+}
+
 // Answer computes the certain answers cert(q, P, D) for the query over the
 // ontology. In ModeAuto the strategy follows the classification; the
 // returned mode tells which technique ran.
 func (o *Ontology) Answer(querySrc string) (*Answers, error) {
-	return o.AnswerMode(querySrc, ModeAuto)
+	return o.AnswerOptions(querySrc, Options{})
 }
 
 // AnswerMode is Answer with an explicit technique.
 func (o *Ontology) AnswerMode(querySrc string, mode AnswerMode) (*Answers, error) {
+	return o.AnswerOptions(querySrc, Options{Mode: mode})
+}
+
+// AnswerOptions is Answer with explicit technique and parallelism.
+func (o *Ontology) AnswerOptions(querySrc string, opts Options) (*Answers, error) {
 	q, err := ParseQuery(querySrc)
 	if err != nil {
 		return nil, err
 	}
+	mode := opts.Mode
 	if mode == ModeAuto {
 		if o.Classify().FORewritable {
 			mode = ModeRewrite
@@ -241,20 +259,21 @@ func (o *Ontology) AnswerMode(querySrc string, mode AnswerMode) (*Answers, error
 			mode = ModeChase
 		}
 	}
+	evalOpts := eval.Options{FilterNulls: true, Parallelism: opts.Parallelism}
 	switch mode {
 	case ModeRewrite:
 		rw := o.RewriteCQ(q)
 		if !rw.Complete {
 			return nil, fmt.Errorf("repro: rewriting did not reach a fixpoint (budget hit); use ModeChase")
 		}
-		return eval.UCQ(rw.UCQ, o.data, eval.Options{FilterNulls: true}), nil
+		return eval.UCQ(rw.UCQ, o.data, evalOpts), nil
 	case ModeChase:
-		res := chase.Run(o.rules, o.data, chase.Options{})
+		res := chase.Run(o.rules, o.data, chase.Options{Parallelism: opts.Parallelism})
 		if !res.Terminated {
 			return nil, fmt.Errorf("repro: chase did not terminate within budget (%d steps)", res.Steps)
 		}
 		u := query.MustNewUCQ(q)
-		return eval.UCQ(u, res.Instance, eval.Options{FilterNulls: true}), nil
+		return eval.UCQ(u, res.Instance, evalOpts), nil
 	default:
 		return nil, fmt.Errorf("repro: unknown answer mode %d", mode)
 	}
@@ -263,5 +282,10 @@ func (o *Ontology) AnswerMode(querySrc string, mode AnswerMode) (*Answers, error
 // Chase materializes the ontology: data expanded with every rule
 // consequence (restricted chase, default budgets).
 func (o *Ontology) Chase() *chase.Result {
-	return chase.Run(o.rules, o.data, chase.Options{})
+	return o.ChaseOptions(Options{})
+}
+
+// ChaseOptions is Chase with an explicit worker count.
+func (o *Ontology) ChaseOptions(opts Options) *chase.Result {
+	return chase.Run(o.rules, o.data, chase.Options{Parallelism: opts.Parallelism})
 }
