@@ -2,6 +2,9 @@
 # bench` step by step; keep the two in sync.
 
 GO ?= go
+# bench-json pipes `go test` into benchjson; pipefail makes a benchmark
+# failure fail the target (and CI), not vanish behind benchjson's exit 0.
+SHELL := /bin/bash -o pipefail
 
 .PHONY: all build test bench lint bench-json
 
@@ -23,7 +26,10 @@ lint:
 	$(GO) vet ./...
 
 # Machine-readable benchmark baseline: one timed pass per benchmark,
-# rendered to JSON for the perf trajectory (BENCH_1.json was produced by
-# this target).
+# rendered to JSON for the perf trajectory. The default output is
+# untracked; the committed baselines (BENCH_1.json, BENCH_2.json) are
+# recorded deliberately with `make bench-json BENCH_OUT=BENCH_N.json`.
+BENCH_OUT ?= bench.out.json
+
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | $(GO) run ./cmd/benchjson
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | $(GO) run ./cmd/benchjson > $(BENCH_OUT)

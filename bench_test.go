@@ -14,6 +14,7 @@ import (
 	"repro/internal/chase"
 	"repro/internal/datagen"
 	"repro/internal/eval"
+	"repro/internal/logic"
 	"repro/internal/parser"
 	"repro/internal/pnode"
 	"repro/internal/posgraph"
@@ -349,6 +350,70 @@ func BenchmarkParallelCQJoin(b *testing.B) {
 				eval.CQ(q, data, eval.Options{Parallelism: p})
 			}
 		})
+	}
+}
+
+// --- I1: incremental chase maintenance -----------------------------------
+
+// BenchmarkIncrementalAddFact compares serving a stream of single-fact
+// inserts from the incrementally maintained materialization (AddFact resumes
+// the chase with just the new fact as delta) against re-chasing the whole
+// instance from scratch per insert. Each iteration inserts one new fact and
+// re-answers the same query.
+func BenchmarkIncrementalAddFact(b *testing.B) {
+	rules := datagen.University()
+	const q = `q(X) :- person(X) .`
+	b.Run("incremental", func(b *testing.B) {
+		ont := MustParse(rules.String() + "\n" + datagen.UniversityData(16, 1).String())
+		if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ont.AddFact(fmt.Sprintf("undergraduateStudent(bench%d) .", i)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(ont.MaterializationStats().LastSteps), "delta-steps")
+	})
+	b.Run("scratch", func(b *testing.B) {
+		data := datagen.UniversityData(16, 1)
+		pq := parser.MustParseQuery(q)
+		u := query.MustNewUCQ(query.MustNew(pq.Head, pq.Body))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fact := logic.NewAtom("undergraduateStudent", logic.NewConst(fmt.Sprintf("bench%d", i)))
+			if err := data.InsertAtom(fact); err != nil {
+				b.Fatal(err)
+			}
+			ans, res := chase.CertainAnswers(u, rules, data, chase.Options{})
+			if !res.Terminated || ans.Len() == 0 {
+				b.Fatal("chase failed")
+			}
+		}
+	})
+}
+
+// BenchmarkInstanceClone measures snapshotting a chased instance — the cost
+// Clone pays when (re)building the cached materialization. Wholesale
+// tuple/key/index copies, no re-hashing.
+func BenchmarkInstanceClone(b *testing.B) {
+	rules := datagen.University()
+	res := chase.Run(rules, datagen.UniversityData(16, 1), chase.Options{})
+	if !res.Terminated {
+		b.Fatal("chase must terminate")
+	}
+	res.Instance.EnsureIndexes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Instance.Clone()
 	}
 }
 

@@ -6,6 +6,12 @@
 //
 //	answer -rules testdata/family.rules -data testdata/family.data \
 //	       -query 'q(X,Y) :- ancestor(X,Y) .' [-mode auto|rewrite|chase]
+//
+// With -add, the query is answered, the facts are inserted (AddFact), and
+// the query is answered again. In chase mode the second answer is served
+// from the incrementally maintained materialization — the printed stats show
+// the delta-proportional step count. -incremental=false instead rebuilds the
+// whole ontology from scratch for comparison.
 package main
 
 import (
@@ -22,20 +28,14 @@ func main() {
 	querySrc := flag.String("query", "", "conjunctive query")
 	mode := flag.String("mode", "auto", "auto | rewrite | chase")
 	parallel := flag.Int("parallel", 1, "worker count for chase and evaluation (1 = sequential)")
+	maxSteps := flag.Int("max-steps", 0, "chase trigger-firing budget (0 = default 100000)")
+	maxRounds := flag.Int("max-rounds", 0, "chase fair-round budget (0 = default 1000)")
+	add := flag.String("add", "", "facts (program text) to AddFact after the first answer, then re-answer")
+	incremental := flag.Bool("incremental", true, "with -add: maintain the cached materialization incrementally (false = rebuild the ontology from scratch)")
 	flag.Parse()
 	if *rulesPath == "" || *querySrc == "" {
-		fmt.Fprintln(os.Stderr, "usage: answer -rules FILE [-data FILE] -query 'q(X) :- ... .' [-mode M]")
+		fmt.Fprintln(os.Stderr, "usage: answer -rules FILE [-data FILE] -query 'q(X) :- ... .' [-mode M] [-add 'f(a) .']")
 		os.Exit(2)
-	}
-	var ont *repro.Ontology
-	var err error
-	if *dataPath != "" {
-		ont, err = repro.ParseFiles(*rulesPath, *dataPath)
-	} else {
-		ont, err = repro.ParseFiles(*rulesPath)
-	}
-	if err != nil {
-		fatal(err)
 	}
 	var m repro.AnswerMode
 	switch *mode {
@@ -48,12 +48,55 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
-	ans, err := ont.AnswerOptions(*querySrc, repro.Options{Mode: m, Parallelism: *parallel})
+	opts := repro.Options{Mode: m, Parallelism: *parallel, MaxSteps: *maxSteps, MaxRounds: *maxRounds}
+
+	ont := load(*rulesPath, *dataPath)
+	ans, err := ont.AnswerOptions(*querySrc, opts)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(ans)
 	fmt.Fprintf(os.Stderr, "%d answers\n", ans.Len())
+	if st := ont.MaterializationStats(); st.Cached {
+		fmt.Fprintf(os.Stderr, "materialization: epoch=%d facts=%d steps=%d rounds=%d\n",
+			st.Epoch, st.Facts, st.Steps, st.Rounds)
+	}
+
+	if *add == "" {
+		return
+	}
+	if !*incremental {
+		// From-scratch comparison path: a fresh ontology re-chases everything.
+		ont = load(*rulesPath, *dataPath)
+	}
+	if err := ont.AddFact(*add); err != nil {
+		fatal(err)
+	}
+	ans, err = ont.AnswerOptions(*querySrc, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("--- after -add ---")
+	fmt.Println(ans)
+	fmt.Fprintf(os.Stderr, "%d answers\n", ans.Len())
+	if st := ont.MaterializationStats(); st.Cached {
+		fmt.Fprintf(os.Stderr, "materialization: epoch=%d facts=%d steps=%d rounds=%d (last increment: steps=%d rounds=%d)\n",
+			st.Epoch, st.Facts, st.Steps, st.Rounds, st.LastSteps, st.LastRounds)
+	}
+}
+
+func load(rulesPath, dataPath string) *repro.Ontology {
+	var ont *repro.Ontology
+	var err error
+	if dataPath != "" {
+		ont, err = repro.ParseFiles(rulesPath, dataPath)
+	} else {
+		ont, err = repro.ParseFiles(rulesPath)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	return ont
 }
 
 func fatal(err error) {

@@ -4,6 +4,11 @@
 // Usage:
 //
 //	chase -rules testdata/family.rules -data testdata/family.data
+//
+// With -add, extra facts are folded in after the initial chase; -incremental
+// extends the already-chased instance by resuming the engine with just those
+// facts as the delta (the maintenance path Ontology.AddFact uses), while
+// without it the full input is re-chased from scratch for comparison.
 package main
 
 import (
@@ -20,11 +25,14 @@ func main() {
 	rulesPath := flag.String("rules", "", "path to a .rules file of TGDs")
 	dataPath := flag.String("data", "", "path to a .data file of facts")
 	oblivious := flag.Bool("oblivious", false, "use the semi-oblivious chase")
-	maxSteps := flag.Int("max-steps", 0, "step budget (0 = default)")
+	maxSteps := flag.Int("max-steps", 0, "trigger-firing budget (0 = default 100000)")
+	maxRounds := flag.Int("max-rounds", 0, "fair-round budget (0 = default 1000)")
 	parallel := flag.Int("parallel", 1, "worker count for the chase (1 = sequential)")
+	add := flag.String("add", "", "extra facts (program text) to fold in after the initial chase")
+	incremental := flag.Bool("incremental", false, "with -add: resume the chase with the new facts as delta instead of re-chasing")
 	flag.Parse()
 	if *rulesPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: chase -rules FILE [-data FILE] [-oblivious]")
+		fmt.Fprintln(os.Stderr, "usage: chase -rules FILE [-data FILE] [-oblivious] [-add 'f(a) .' [-incremental]]")
 		os.Exit(2)
 	}
 	prog, err := parser.ParseFile(*rulesPath)
@@ -52,14 +60,50 @@ func main() {
 			}
 		}
 	}
-	opts := chase.Options{MaxSteps: *maxSteps, Parallelism: *parallel}
+	opts := chase.Options{MaxSteps: *maxSteps, MaxRounds: *maxRounds, Parallelism: *parallel}
 	if *oblivious {
 		opts.Variant = chase.Oblivious
 	}
-	res := chase.Run(set, data, opts)
-	fmt.Println(res.Instance)
-	fmt.Fprintf(os.Stderr, "%s chase: terminated=%v steps=%d rounds=%d nulls=%d facts=%d\n",
-		opts.Variant, res.Terminated, res.Steps, res.Rounds, res.NullsCreated, res.Instance.Size())
+
+	st := chase.NewState(opts)
+	ins := data.Clone()
+	res := st.Resume(set, ins, ins)
+	report(opts, "initial", res, ins)
+
+	if *add != "" {
+		extra, err := parser.ParseFacts(*add)
+		if err != nil {
+			fatal(err)
+		}
+		if *incremental && !res.Terminated {
+			// Resuming a truncated chase is unsound (dropped triggers are
+			// never reconsidered); re-chase the full input instead.
+			fmt.Fprintln(os.Stderr, "initial chase truncated; -incremental is unsound, re-chasing from scratch")
+			*incremental = false
+		}
+		if *incremental {
+			res, err = st.Extend(set, ins, extra)
+			if err != nil {
+				fatal(err)
+			}
+			report(opts, "incremental", res, ins)
+		} else {
+			for _, f := range extra {
+				if err := data.InsertAtom(f); err != nil {
+					fatal(err)
+				}
+			}
+			res = chase.Run(set, data, opts)
+			ins = res.Instance
+			report(opts, "re-chase", res, ins)
+		}
+	}
+	fmt.Println(ins)
+}
+
+func report(opts chase.Options, phase string, res *chase.Result, ins *storage.Instance) {
+	fmt.Fprintf(os.Stderr, "%s chase (%s): terminated=%v steps=%d rounds=%d nulls=%d facts=%d\n",
+		opts.Variant, phase, res.Terminated, res.Steps, res.Rounds, res.NullsCreated, ins.Size())
 }
 
 func fatal(err error) {

@@ -16,10 +16,18 @@
 // are merged coordination-free at the round barrier. The parallel chase
 // yields the same certain answers as the sequential one; only labelled-null
 // names and redundant-null counts may differ.
+//
+// The fixpoint is resumable: Run is a thin wrapper that clones the data,
+// creates a State (NewState) and calls State.Resume with the whole input as
+// the starting delta. Incremental maintenance calls Resume again with only
+// the newly inserted facts as the delta, against the already-chased
+// instance — paying for the consequences of the new facts instead of a full
+// re-chase (see Ontology.AddFact in the repro package).
 package chase
 
 import (
-	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -52,12 +60,20 @@ func (v Variant) String() string {
 	return "restricted"
 }
 
+// Default budgets applied when Options leaves them zero.
+const (
+	// DefaultMaxSteps is the default trigger-firing budget.
+	DefaultMaxSteps = 100000
+	// DefaultMaxRounds is the default fair-round budget.
+	DefaultMaxRounds = 1000
+)
+
 // Options configures a chase run.
 type Options struct {
 	Variant Variant
-	// MaxSteps bounds the number of trigger firings (0 = default 100000).
+	// MaxSteps bounds the number of trigger firings (0 = DefaultMaxSteps).
 	MaxSteps int
-	// MaxRounds bounds the number of fair rounds (0 = default 1000).
+	// MaxRounds bounds the number of fair rounds (0 = DefaultMaxRounds).
 	MaxRounds int
 	// Parallelism is the worker count for trigger collection and firing
 	// within a round (0 or 1 = sequential). The resulting instance is a
@@ -67,10 +83,10 @@ type Options struct {
 
 func (o Options) withDefaults() Options {
 	if o.MaxSteps == 0 {
-		o.MaxSteps = 100000
+		o.MaxSteps = DefaultMaxSteps
 	}
 	if o.MaxRounds == 0 {
-		o.MaxRounds = 1000
+		o.MaxRounds = DefaultMaxRounds
 	}
 	if o.Parallelism < 1 {
 		o.Parallelism = 1
@@ -78,7 +94,7 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Result is the outcome of a chase run.
+// Result is the outcome of a chase run (or of one Resume increment).
 type Result struct {
 	// Instance is the (possibly truncated) chase of the input.
 	Instance *storage.Instance
@@ -102,124 +118,11 @@ type trigger struct {
 
 // Run chases data with rules. The input instance is not modified.
 func Run(rules *dependency.Set, data *storage.Instance, opts Options) *Result {
-	opts = opts.withDefaults()
 	ins := data.Clone()
-	res := &Result{Instance: ins}
-	workers := opts.Parallelism
-
-	// Per-worker null generators with disjoint prefixes ("n#…", "n1#…",
-	// "n2#…"): invention needs no coordination, and names cannot collide
-	// with parser-produced terms (the lexer rejects '#').
-	gens := make([]*logic.VarGen, workers)
-	for w := range gens {
-		prefix := "n"
-		if w > 0 {
-			prefix = fmt.Sprintf("n%d", w)
-		}
-		gens[w] = logic.NewVarGen(prefix)
-	}
-
-	var steps atomic.Int64
-	var truncated atomic.Bool
-
-	// fired remembers semi-oblivious triggers (rule + frontier binding)
-	// across rounds so each fires at most once per frontier, not once per
-	// body binding: an existential body variable rebound to a fresh null
-	// must not re-fire the rule.
-	var fired map[string]bool
-	if opts.Variant == Oblivious {
-		fired = make(map[string]bool)
-	}
-
 	// Round zero's delta is the whole input: every initial fact is "new".
 	// Aliasing ins is safe — rounds only read the delta, writes are
 	// buffered in shards until the barrier.
-	delta := ins
-
-	for res.Rounds < opts.MaxRounds {
-		res.Rounds++
-
-		// Freeze the instance for this round: indexes pre-built, all reads
-		// below are lock-free and race-free, all writes buffered in shards.
-		ins.EnsureIndexes()
-
-		triggers := collectTriggers(rules, ins, delta, workers)
-		if opts.Variant == Oblivious {
-			kept := triggers[:0]
-			for _, tr := range triggers {
-				key := fmt.Sprintf("%d\x00", tr.rule) +
-					bindingKey(tr.frontier, rules.Rules[tr.rule].Distinguished())
-				if !fired[key] {
-					fired[key] = true
-					kept = append(kept, tr)
-				}
-			}
-			triggers = kept
-		}
-		if len(triggers) == 0 {
-			res.Steps = int(steps.Load())
-			res.Terminated = true
-			return res
-		}
-
-		// Fire the round's triggers: chunked across workers, each writing
-		// into a private shard against the frozen instance.
-		shards := make([]*storage.Shard, workers)
-		nulls := make([]int, workers)
-		runTasks(workers, workers, func(w int) {
-			shard := storage.NewShard()
-			shards[w] = shard
-			for i := w; i < len(triggers); i += workers {
-				if truncated.Load() {
-					return
-				}
-				tr := triggers[i]
-				rule := rules.Rules[tr.rule]
-				if opts.Variant == Restricted && headSatisfied(rule, tr.frontier, ins) {
-					continue
-				}
-				if n := steps.Add(1); int(n) > opts.MaxSteps {
-					steps.Add(-1)
-					truncated.Store(true)
-					return
-				}
-				// Instantiate head: frontier variables from the trigger,
-				// existential head variables as fresh nulls.
-				inst := tr.frontier.Clone()
-				for _, e := range rule.ExistentialHead() {
-					inst.Bind(e, gens[w].FreshNull())
-					nulls[w]++
-				}
-				for _, h := range rule.Head {
-					if _, err := shard.Insert(inst.ApplyAtom(h)); err != nil {
-						// Arity conflicts are caught at rule-set validation;
-						// reaching here is a programming error.
-						panic(err)
-					}
-				}
-			}
-		})
-
-		// Round barrier: single-writer merge of all shards, producing the
-		// next delta.
-		newDelta, err := ins.MergeShards(shards...)
-		if err != nil {
-			panic(err)
-		}
-		for _, n := range nulls {
-			res.NullsCreated += n
-		}
-		res.Steps = int(steps.Load())
-		if truncated.Load() {
-			return res
-		}
-		if newDelta.Size() == 0 {
-			res.Terminated = true
-			return res
-		}
-		delta = newDelta
-	}
-	return res
+	return NewState(opts).Resume(rules, ins, ins)
 }
 
 // collectTriggers enumerates, semi-naively, every rule binding with at least
@@ -348,14 +251,43 @@ func headSatisfied(rule *dependency.TGD, frontier logic.Subst, ins *storage.Inst
 	return found
 }
 
-// bindingKey canonically encodes a body binding for deduplication.
+// bindingKey canonically encodes a body binding for deduplication: for each
+// variable in order, the walked term's kind digit, name, and a NUL. It is
+// the hottest string in the engine (one per enumerated binding per round):
+// one Walk pass into a stack buffer sizes and fills a single pre-grown
+// strings.Builder — no per-term fmt allocations, no double chain traversal.
 func bindingKey(frontier logic.Subst, vars []logic.Term) string {
-	key := ""
+	return buildKey(nil, frontier, vars)
+}
+
+// triggerKey is bindingKey prefixed with the rule index, keying the
+// semi-oblivious fired-trigger memory.
+func triggerKey(rule int, frontier logic.Subst, vars []logic.Term) string {
+	var prefix [20]byte
+	p := strconv.AppendInt(prefix[:0], int64(rule), 10)
+	p = append(p, 0)
+	return buildKey(p, frontier, vars)
+}
+
+// buildKey assembles prefix plus the canonical binding encoding.
+func buildKey(prefix []byte, frontier logic.Subst, vars []logic.Term) string {
+	var buf [8]logic.Term
+	walked := buf[:0]
+	n := len(prefix)
 	for _, v := range vars {
 		t := frontier.Walk(v)
-		key += fmt.Sprintf("%d%s\x00", t.Kind, t.Name)
+		walked = append(walked, t)
+		n += len(t.Name) + 2
 	}
-	return key
+	var b strings.Builder
+	b.Grow(n)
+	b.Write(prefix)
+	for _, t := range walked {
+		b.WriteByte('0' + byte(t.Kind))
+		b.WriteString(t.Name)
+		b.WriteByte(0)
+	}
+	return b.String()
 }
 
 // CertainAnswers evaluates a UCQ over the chase of (rules, data) and keeps

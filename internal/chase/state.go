@@ -1,0 +1,211 @@
+package chase
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/dependency"
+	"repro/internal/logic"
+	"repro/internal/storage"
+)
+
+// State is the resumable engine state of an ongoing chase: the per-worker
+// labelled-null generators, the semi-oblivious fired-trigger memory, and the
+// cumulative counters. A State is created once per materialization
+// (NewState) and threaded through successive Resume calls so that later
+// increments invent nulls disjoint from earlier ones and never re-fire a
+// semi-oblivious trigger. A State must not be used by concurrent Resume
+// calls; callers serialize maintenance (Ontology does so under its write
+// lock).
+type State struct {
+	opts  Options
+	gens  []*logic.VarGen
+	fired map[string]bool // semi-oblivious trigger memory, nil when Restricted
+
+	steps     int
+	rounds    int
+	nulls     int
+	truncated bool
+}
+
+// NewState creates the engine state for a materialization chased with the
+// given options. Variant and Parallelism are frozen for the lifetime of the
+// state (the null-name space is partitioned per worker); the budgets apply
+// per Resume call.
+func NewState(opts Options) *State {
+	opts = opts.withDefaults()
+	// Per-worker null generators with disjoint prefixes ("n#…", "n1#…",
+	// "n2#…"): invention needs no coordination, and names cannot collide
+	// with parser-produced terms (the lexer rejects '#').
+	gens := make([]*logic.VarGen, opts.Parallelism)
+	for w := range gens {
+		prefix := "n"
+		if w > 0 {
+			prefix = fmt.Sprintf("n%d", w)
+		}
+		gens[w] = logic.NewVarGen(prefix)
+	}
+	st := &State{opts: opts, gens: gens}
+	if opts.Variant == Oblivious {
+		st.fired = make(map[string]bool)
+	}
+	return st
+}
+
+// Options returns the (defaulted) options the state was created with.
+func (st *State) Options() Options { return st.opts }
+
+// TotalSteps returns the trigger firings accumulated across all Resume calls.
+func (st *State) TotalSteps() int { return st.steps }
+
+// TotalRounds returns the rounds accumulated across all Resume calls.
+func (st *State) TotalRounds() int { return st.rounds }
+
+// TotalNulls returns the labelled nulls invented across all Resume calls.
+func (st *State) TotalNulls() int { return st.nulls }
+
+// Truncated reports whether any Resume call hit its budget; when true the
+// instance is a sound but incomplete approximation and incremental
+// maintenance on top of it is unsound — rebuild from scratch instead.
+func (st *State) Truncated() bool { return st.truncated }
+
+// Extend inserts ground facts into ins and resumes the chase with the
+// genuinely new ones as the delta — the canonical incremental-maintenance
+// step (facts already present, e.g. previously derived, fire nothing). With
+// no new facts it returns an empty terminated Result without running a
+// round. Unsound after a truncated run (see Truncated): dropped triggers
+// would never be reconsidered, so callers must rebuild instead.
+func (st *State) Extend(rules *dependency.Set, ins *storage.Instance, facts []logic.Atom) (*Result, error) {
+	delta := storage.NewInstance()
+	for _, f := range facts {
+		added, err := ins.Insert(f)
+		if err != nil {
+			return nil, err
+		}
+		if added {
+			if _, err := delta.Insert(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if delta.Size() == 0 {
+		return &Result{Instance: ins, Terminated: true}, nil
+	}
+	return st.Resume(rules, ins, delta), nil
+}
+
+// Resume runs the chase fixpoint on ins starting from an explicit delta: only
+// triggers with at least one body atom in delta are considered in the first
+// round, exactly as a semi-naive round mid-run. ins is extended in place;
+// delta must be a subset of ins (for a from-scratch run pass ins itself, as
+// Run does; for incremental maintenance pass just the newly inserted facts).
+//
+// The restricted variant re-checks head satisfaction against the full ins —
+// including everything derived by earlier Resume calls — so resuming after an
+// insertion yields a valid restricted chase of the extended data: certain
+// answers are identical to a from-scratch chase (property-tested).
+//
+// The returned Result describes this call only (Steps, Rounds, NullsCreated
+// count the increment); cumulative totals live on the State. Budgets apply
+// per call.
+func (st *State) Resume(rules *dependency.Set, ins, delta *storage.Instance) *Result {
+	opts := st.opts
+	res := &Result{Instance: ins}
+	workers := opts.Parallelism
+
+	var steps atomic.Int64
+	var truncated atomic.Bool
+
+	defer func() {
+		st.steps += res.Steps
+		st.rounds += res.Rounds
+		st.nulls += res.NullsCreated
+		if !res.Terminated {
+			st.truncated = true
+		}
+	}()
+
+	for res.Rounds < opts.MaxRounds {
+		res.Rounds++
+
+		// Freeze the instance for this round: indexes pre-built, all reads
+		// below are lock-free and race-free, all writes buffered in shards.
+		ins.EnsureIndexes()
+
+		triggers := collectTriggers(rules, ins, delta, workers)
+		if opts.Variant == Oblivious {
+			kept := triggers[:0]
+			for _, tr := range triggers {
+				key := triggerKey(tr.rule, tr.frontier, rules.Rules[tr.rule].Distinguished())
+				if !st.fired[key] {
+					st.fired[key] = true
+					kept = append(kept, tr)
+				}
+			}
+			triggers = kept
+		}
+		if len(triggers) == 0 {
+			res.Steps = int(steps.Load())
+			res.Terminated = true
+			return res
+		}
+
+		// Fire the round's triggers: chunked across workers, each writing
+		// into a private shard against the frozen instance.
+		shards := make([]*storage.Shard, workers)
+		nulls := make([]int, workers)
+		runTasks(workers, workers, func(w int) {
+			shard := storage.NewShard()
+			shards[w] = shard
+			for i := w; i < len(triggers); i += workers {
+				if truncated.Load() {
+					return
+				}
+				tr := triggers[i]
+				rule := rules.Rules[tr.rule]
+				if opts.Variant == Restricted && headSatisfied(rule, tr.frontier, ins) {
+					continue
+				}
+				if n := steps.Add(1); int(n) > opts.MaxSteps {
+					steps.Add(-1)
+					truncated.Store(true)
+					return
+				}
+				// Instantiate head: frontier variables from the trigger,
+				// existential head variables as fresh nulls.
+				inst := tr.frontier.Clone()
+				for _, e := range rule.ExistentialHead() {
+					inst.Bind(e, st.gens[w].FreshNull())
+					nulls[w]++
+				}
+				for _, h := range rule.Head {
+					if _, err := shard.Insert(inst.ApplyAtom(h)); err != nil {
+						// Arity conflicts are caught at rule-set validation;
+						// reaching here is a programming error.
+						panic(err)
+					}
+				}
+			}
+		})
+
+		// Round barrier: single-writer merge of all shards, producing the
+		// next delta.
+		newDelta, err := ins.MergeShards(shards...)
+		if err != nil {
+			panic(err)
+		}
+		for _, n := range nulls {
+			res.NullsCreated += n
+		}
+		res.Steps = int(steps.Load())
+		if truncated.Load() {
+			return res
+		}
+		if newDelta.Size() == 0 {
+			res.Terminated = true
+			return res
+		}
+		delta = newDelta
+	}
+	return res
+}

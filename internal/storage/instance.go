@@ -15,9 +15,15 @@ import (
 // Tuple is one row of a relation.
 type Tuple []logic.Term
 
-// Key returns a canonical encoding of the tuple for dedup.
+// Key returns a canonical encoding of the tuple for dedup, built in one
+// pre-sized pass (it is hashed once per insert/lookup on the hot path).
 func (t Tuple) Key() string {
+	n := 2 * len(t)
+	for _, x := range t {
+		n += len(x.Name)
+	}
 	var b strings.Builder
+	b.Grow(n)
 	for _, x := range t {
 		b.WriteByte(0)
 		b.WriteByte(byte('0') + byte(x.Kind))
@@ -104,8 +110,12 @@ func (r *Relation) Contains(t Tuple) bool {
 // Tuples returns the backing slice of tuples; callers must not mutate it.
 func (r *Relation) Tuples() []Tuple { return r.tuples }
 
-// buildIndex materializes the per-column indexes.
+// buildIndex materializes the per-column indexes. Indexes carried over by
+// Clone are kept as-is.
 func (r *Relation) buildIndex() {
+	if r.index != nil {
+		return
+	}
 	index := make([]map[logic.Term][]int, r.arity)
 	for col := 0; col < r.arity; col++ {
 		index[col] = make(map[logic.Term][]int)
@@ -240,15 +250,42 @@ func (ins *Instance) EnsureIndexes() {
 	}
 }
 
-// Clone deep-copies the instance.
+// Clone copies the relation without re-hashing: the tuple slice and key map
+// are copied wholesale, and already-built per-column indexes are carried
+// over (deep-copied, since Insert appends to index posting lists in place).
+// Tuple values themselves are shared — they are immutable by contract.
+// Single-writer: Clone must not race with concurrent index builds on r.
+func (r *Relation) Clone() *Relation {
+	nr := &Relation{name: r.name, arity: r.arity}
+	nr.tuples = make([]Tuple, len(r.tuples))
+	copy(nr.tuples, r.tuples)
+	nr.keys = make(map[string]int, len(r.keys))
+	for k, v := range r.keys {
+		nr.keys[k] = v
+	}
+	if r.index != nil {
+		index := make([]map[logic.Term][]int, r.arity)
+		for col, m := range r.index {
+			nm := make(map[logic.Term][]int, len(m))
+			for t, offs := range m {
+				no := make([]int, len(offs))
+				copy(no, offs)
+				nm[t] = no
+			}
+			index[col] = nm
+		}
+		nr.index = index
+	}
+	return nr
+}
+
+// Clone deep-copies the instance cheaply: per-relation wholesale copies of
+// tuples, key maps and built indexes (see Relation.Clone), making snapshots
+// of a chased instance a copy, not a rebuild.
 func (ins *Instance) Clone() *Instance {
 	out := NewInstance()
 	for p, r := range ins.rels {
-		nr := NewRelation(p, r.Arity())
-		for _, t := range r.Tuples() {
-			nr.Insert(t)
-		}
-		out.rels[p] = nr
+		out.rels[p] = r.Clone()
 	}
 	return out
 }

@@ -132,3 +132,48 @@ func TestInstanceString(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+func TestClonePreservesIndexes(t *testing.T) {
+	ins := MustFromAtoms([]logic.Atom{
+		logic.NewAtom("p", c("a"), c("b")),
+		logic.NewAtom("p", c("a"), c("c")),
+		logic.NewAtom("p", c("d"), c("b")),
+	})
+	ins.EnsureIndexes()
+	cl := ins.Clone()
+	r := cl.Relation("p")
+	if r.index == nil {
+		t.Fatal("Clone must carry over built indexes")
+	}
+	if got := r.Lookup(0, c("a")); len(got) != 2 {
+		t.Errorf("cloned Lookup(0,a) = %v, want 2 offsets", got)
+	}
+	// Inserting into the clone must maintain its index without touching the
+	// original's posting lists.
+	cl.InsertAtom(logic.NewAtom("p", c("a"), c("e")))
+	if got := cl.Relation("p").Lookup(0, c("a")); len(got) != 3 {
+		t.Errorf("post-insert cloned Lookup(0,a) = %v, want 3 offsets", got)
+	}
+	if got := ins.Relation("p").Lookup(0, c("a")); len(got) != 2 {
+		t.Errorf("original Lookup(0,a) = %v, want 2 offsets (aliasing)", got)
+	}
+	// EnsureIndex on the clone must not discard the carried-over index.
+	cl.Relation("p").EnsureIndex()
+	if got := cl.Relation("p").Lookup(1, c("e")); len(got) != 1 {
+		t.Errorf("Lookup(1,e) = %v, want 1 offset", got)
+	}
+}
+
+func TestCloneWithoutIndexesStaysLazy(t *testing.T) {
+	ins := MustFromAtoms([]logic.Atom{logic.NewAtom("p", c("a"))})
+	cl := ins.Clone()
+	if cl.Relation("p").index != nil {
+		t.Fatal("Clone of an unindexed relation must stay unindexed")
+	}
+	if got := cl.Relation("p").Lookup(0, c("a")); len(got) != 1 {
+		t.Errorf("lazy build after Clone: Lookup = %v", got)
+	}
+	if !cl.Relation("p").Contains(Tuple{c("a")}) {
+		t.Error("cloned key map must answer Contains")
+	}
+}

@@ -32,11 +32,13 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/chase"
 	"repro/internal/core"
 	"repro/internal/dependency"
 	"repro/internal/eval"
+	"repro/internal/logic"
 	"repro/internal/parser"
 	"repro/internal/query"
 	"repro/internal/rewrite"
@@ -45,11 +47,66 @@ import (
 )
 
 // Ontology is a set of TGDs together with a database instance.
+//
+// An Ontology is safe for concurrent use: any number of goroutines may call
+// Answer*/Classify/Chase concurrently, and AddFact may run alongside them.
+// Chase-mode answering is served from a cached materialization maintained
+// incrementally — AddFact chases only the newly inserted facts as a delta
+// against the cached instance instead of re-running the fixpoint (see
+// MaterializationStats for the counters).
 type Ontology struct {
 	rules *dependency.Set
 	data  *storage.Instance
 
-	classification *core.Report // lazily computed
+	classOnce      sync.Once
+	classification *core.Report // computed once, on first use
+
+	// mu guards data, mat and epoch. Readers (chase-mode Answer) evaluate
+	// under the read lock over the frozen cached instance; AddFact extends
+	// both under the write lock, so readers always see a complete epoch,
+	// never a half-merged round.
+	mu  sync.RWMutex
+	mat *materialization
+	// epoch counts completed materialization builds and extensions,
+	// monotonic across cache drops and rebuilds.
+	epoch uint64
+	// buildMu single-flights materialization (re)builds: concurrent
+	// cold-start readers queue here instead of each chasing a private
+	// clone. Always acquired before mu, never while holding it.
+	buildMu sync.Mutex
+}
+
+// materialization is the cached chase expansion plus the resumable engine
+// state (null generators, semi-oblivious memory, counters) that maintains it
+// across AddFact deltas.
+type materialization struct {
+	ins   *storage.Instance
+	state *chase.State
+	// terminated mirrors the last Resume's fixpoint flag; a truncated cache
+	// is only served to callers whose budgets cannot do better.
+	terminated bool
+	// baseSize is o.data.Size() when the cache was last built/extended; a
+	// mismatch means the base data was mutated out-of-band (via Data()), so
+	// the cache must be rebuilt rather than served stale.
+	baseSize int
+	// lastSteps/lastRounds describe the most recent build or extension.
+	lastSteps, lastRounds int
+}
+
+// usable reports whether the cache can serve a request with the given
+// (defaulted) budgets against the current base data: the data must not have
+// been mutated out-of-band, and a truncated cache only serves requests whose
+// budgets are no larger than the ones it was built with (a larger budget
+// could derive more). A terminated fixpoint serves any budget.
+func (m *materialization) usable(copts chase.Options, dataSize int) bool {
+	if m.baseSize != dataSize {
+		return false
+	}
+	if m.terminated {
+		return true
+	}
+	built := m.state.Options()
+	return copts.MaxSteps <= built.MaxSteps && copts.MaxRounds <= built.MaxRounds
 }
 
 // Parse builds an Ontology from a program text containing TGDs and
@@ -123,27 +180,93 @@ func ParseFiles(rulesPath string, dataPaths ...string) (*Ontology, error) {
 // Rules returns the ontology's TGD set.
 func (o *Ontology) Rules() *dependency.Set { return o.rules }
 
-// Data returns the ontology's database instance.
+// Data returns the ontology's database instance. Treat it as read-only:
+// mutate the ontology through AddFact/LoadCSV, which lock and maintain the
+// cached materialization incrementally. Out-of-band inserts are detected by
+// a size check and force a full rebuild on the next chase-mode answer — and
+// they race with concurrent Answer/AddFact calls.
 func (o *Ontology) Data() *storage.Instance { return o.data }
 
-// AddFact inserts one ground fact, parsed from text like `person(alice) .`.
+// AddFact inserts ground facts, parsed from text like `person(alice) .`.
+// When a chase materialization is cached, it is maintained incrementally:
+// only the genuinely new facts are chased as a delta against the cached
+// instance (restricted-chase head checks run against the full cache), so the
+// cost is proportional to the consequences of the insertion, not to the
+// instance. Classification is unaffected (it depends on rules only).
 func (o *Ontology) AddFact(src string) error {
 	facts, err := parser.ParseFacts(src)
 	if err != nil {
 		return err
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.dropStaleMaterializationLocked()
+	// Validate arities for the whole batch up front — against the cached
+	// expansion (a superset of the base data) when one exists — so the
+	// insert loop below cannot fail midway: AddFact is all-or-nothing and a
+	// rejected batch leaves data and cache untouched.
+	arities := make(map[string]int)
+	for _, f := range facts {
+		want, ok := arities[f.Pred]
+		if !ok {
+			want = f.Arity()
+			if m := o.mat; m != nil {
+				if rel := m.ins.Relation(f.Pred); rel != nil {
+					want = rel.Arity()
+				}
+			} else if rel := o.data.Relation(f.Pred); rel != nil {
+				want = rel.Arity()
+			}
+			arities[f.Pred] = want
+		}
+		if f.Arity() != want {
+			return fmt.Errorf("repro: predicate %s used with arity %d and %d", f.Pred, want, f.Arity())
+		}
+	}
 	for _, f := range facts {
 		if err := o.data.InsertAtom(f); err != nil {
+			o.mat = nil // unreachable after validation; defensive
 			return err
 		}
 	}
-	o.invalidate()
-	return nil
+	return o.extendMaterializationLocked(facts)
 }
 
-func (o *Ontology) invalidate() {
-	// Data changes do not affect classification (it depends on rules
-	// only), so nothing to do today; kept for future rule mutation.
+// dropStaleMaterializationLocked discards the cache when the base data was
+// mutated out-of-band (via Data()) since the cache last saw it. Mutators
+// must call it BEFORE inserting: extending a stale cache would re-align
+// baseSize and permanently mask the staleness, serving wrong answers.
+// Requires o.mu held for writing.
+func (o *Ontology) dropStaleMaterializationLocked() {
+	if m := o.mat; m != nil && m.baseSize != o.data.Size() {
+		o.mat = nil
+	}
+}
+
+// extendMaterializationLocked folds newly inserted base facts into the
+// cached materialization by resuming the chase with just those facts as the
+// delta (chase.State.Extend). Requires o.mu held for writing. A truncated
+// cache cannot be extended soundly (triggers were dropped), so it is
+// discarded instead.
+func (o *Ontology) extendMaterializationLocked(facts []logic.Atom) error {
+	m := o.mat
+	if m == nil {
+		return nil
+	}
+	if !m.terminated {
+		o.mat = nil
+		return nil
+	}
+	res, err := m.state.Extend(o.rules, m.ins, facts)
+	if err != nil {
+		o.mat = nil
+		return err
+	}
+	o.epoch++
+	m.terminated = res.Terminated
+	m.baseSize = o.data.Size()
+	m.lastSteps, m.lastRounds = res.Steps, res.Rounds
+	return nil
 }
 
 // Classify runs every class test of the paper's landscape (simple, Linear,
@@ -151,9 +274,7 @@ func (o *Ontology) invalidate() {
 // Weakly-Acyclic, Acyclic-GRD, SWR, WR) and recommends an answering
 // strategy. The report is cached.
 func (o *Ontology) Classify() *core.Report {
-	if o.classification == nil {
-		o.classification = core.Classify(o.rules)
-	}
+	o.classOnce.Do(func() { o.classification = core.Classify(o.rules) })
 	return o.classification
 }
 
@@ -200,7 +321,17 @@ func (o *Ontology) Rewrite(querySrc string) (*Rewriting, error) {
 
 // RewriteCQ compiles an already-parsed query.
 func (o *Ontology) RewriteCQ(q *query.CQ) *Rewriting {
-	res := rewrite.Rewrite(q, o.rules, rewrite.DefaultOptions())
+	return o.rewriteCQ(q, 0)
+}
+
+// rewriteCQ compiles q with the default engine options, optionally
+// overriding the kept-CQ budget (0 keeps the default).
+func (o *Ontology) rewriteCQ(q *query.CQ, maxCQs int) *Rewriting {
+	ropts := rewrite.DefaultOptions()
+	if maxCQs > 0 {
+		ropts.MaxCQs = maxCQs
+	}
+	res := rewrite.Rewrite(q, o.rules, ropts)
 	return &Rewriting{UCQ: res.UCQ, Complete: res.Complete, Stats: res}
 }
 
@@ -231,6 +362,32 @@ type Options struct {
 	// outer loop of each join) concurrently. 0 or 1 means sequential. Any
 	// value yields the same answer set.
 	Parallelism int
+	// MaxSteps bounds chase trigger firings (0 = chase.DefaultMaxSteps).
+	// Big workloads that legitimately exceed the default hard-fail without
+	// raising it.
+	MaxSteps int
+	// MaxRounds bounds chase fair rounds (0 = chase.DefaultMaxRounds).
+	MaxRounds int
+	// MaxRewriteCQs bounds the number of CQs the rewriting engine may keep
+	// (0 = the engine default). Exceeding it makes the rewriting incomplete:
+	// ModeRewrite errors, ModeAuto falls back to the chase.
+	MaxRewriteCQs int
+}
+
+// chaseOptions maps Options onto a (defaulted) chase configuration.
+func (opts Options) chaseOptions() chase.Options {
+	co := chase.Options{
+		MaxSteps:    opts.MaxSteps,
+		MaxRounds:   opts.MaxRounds,
+		Parallelism: opts.Parallelism,
+	}
+	if co.MaxSteps == 0 {
+		co.MaxSteps = chase.DefaultMaxSteps
+	}
+	if co.MaxRounds == 0 {
+		co.MaxRounds = chase.DefaultMaxRounds
+	}
+	return co
 }
 
 // Answer computes the certain answers cert(q, P, D) for the query over the
@@ -252,7 +409,8 @@ func (o *Ontology) AnswerOptions(querySrc string, opts Options) (*Answers, error
 		return nil, err
 	}
 	mode := opts.Mode
-	if mode == ModeAuto {
+	auto := mode == ModeAuto
+	if auto {
 		if o.Classify().FORewritable {
 			mode = ModeRewrite
 		} else {
@@ -262,30 +420,160 @@ func (o *Ontology) AnswerOptions(querySrc string, opts Options) (*Answers, error
 	evalOpts := eval.Options{FilterNulls: true, Parallelism: opts.Parallelism}
 	switch mode {
 	case ModeRewrite:
-		rw := o.RewriteCQ(q)
+		rw := o.rewriteCQ(q, opts.MaxRewriteCQs)
 		if !rw.Complete {
+			if auto {
+				// ModeAuto promised an answer, not a technique: when the
+				// rewriting hits its budget, fall back to materialization
+				// instead of surfacing the rewriting error.
+				return o.answerChase(q, opts, evalOpts)
+			}
 			return nil, fmt.Errorf("repro: rewriting did not reach a fixpoint (budget hit); use ModeChase")
 		}
+		o.mu.RLock()
+		defer o.mu.RUnlock()
 		return eval.UCQ(rw.UCQ, o.data, evalOpts), nil
 	case ModeChase:
-		res := chase.Run(o.rules, o.data, chase.Options{Parallelism: opts.Parallelism})
-		if !res.Terminated {
-			return nil, fmt.Errorf("repro: chase did not terminate within budget (%d steps)", res.Steps)
-		}
-		u := query.MustNewUCQ(q)
-		return eval.UCQ(u, res.Instance, evalOpts), nil
+		return o.answerChase(q, opts, evalOpts)
 	default:
 		return nil, fmt.Errorf("repro: unknown answer mode %d", mode)
 	}
 }
 
+// answerChase evaluates q over the cached materialization, building or
+// rebuilding it when absent or unusable for the requested budgets. The fast
+// path holds only the read lock: concurrent readers evaluate over the frozen
+// instance while AddFact waits for the write lock. Rebuilds chase a private
+// snapshot off-lock so concurrent rewrite-mode readers and cache hits are
+// not stalled behind a long materialization; the result is installed only if
+// the base data did not change meanwhile (bounded retries, then a final
+// attempt under the write lock so a hostile writer stream cannot starve us).
+func (o *Ontology) answerChase(q *query.CQ, opts Options, evalOpts eval.Options) (*Answers, error) {
+	copts := opts.chaseOptions()
+	u := query.MustNewUCQ(q)
+
+	for attempt := 0; ; attempt++ {
+		o.mu.RLock()
+		if m := o.mat; m != nil && m.usable(copts, o.data.Size()) {
+			defer o.mu.RUnlock()
+			if !m.terminated {
+				return nil, fmt.Errorf("repro: chase did not terminate within budget (last run: %d steps); raise Options.MaxSteps/MaxRounds", m.lastSteps)
+			}
+			return eval.UCQ(u, m.ins, evalOpts), nil
+		}
+		o.mu.RUnlock()
+
+		o.buildMu.Lock()
+		o.mu.Lock()
+		if m := o.mat; m != nil && m.usable(copts, o.data.Size()) {
+			o.mu.Unlock()
+			o.buildMu.Unlock()
+			continue // built while we queued; serve from the fast path
+		}
+		ins := o.data.Clone()
+		snapSize := o.data.Size()
+		if attempt < 3 {
+			o.mu.Unlock()
+		}
+		st := chase.NewState(copts)
+		res := st.Resume(o.rules, ins, ins)
+		if attempt < 3 {
+			o.mu.Lock()
+		}
+		// Install unless the data changed while we chased off-lock, or a
+		// fresh fixpoint (e.g. donated by AnswerApprox, which does not take
+		// buildMu) appeared meanwhile — never clobber a terminated cache
+		// with a truncated build.
+		if o.data.Size() == snapSize &&
+			(o.mat == nil || !o.mat.terminated || o.mat.baseSize != snapSize) {
+			o.epoch++
+			o.mat = &materialization{
+				ins:        ins,
+				state:      st,
+				terminated: res.Terminated,
+				baseSize:   snapSize,
+				lastSteps:  res.Steps,
+				lastRounds: res.Rounds,
+			}
+		}
+		if attempt >= 3 {
+			// Final locked attempt: serve our own build directly instead of
+			// looping — a writer stream that keeps extending (or dropping a
+			// truncated cache) between iterations cannot starve us.
+			var ans *Answers
+			var err error
+			if res.Terminated {
+				ans = eval.UCQ(u, ins, evalOpts)
+			} else {
+				err = fmt.Errorf("repro: chase did not terminate within budget (last run: %d steps); raise Options.MaxSteps/MaxRounds", res.Steps)
+			}
+			o.mu.Unlock()
+			o.buildMu.Unlock()
+			return ans, err
+		}
+		o.mu.Unlock()
+		o.buildMu.Unlock()
+	}
+}
+
+// MaterializationStats describes the cached chase expansion serving
+// chase-mode answers.
+type MaterializationStats struct {
+	// Cached reports whether a materialization is currently cached.
+	Cached bool
+	// Epoch counts completed builds and incremental extensions, monotonic
+	// across cache drops and rebuilds.
+	Epoch uint64
+	// Terminated mirrors the chase fixpoint flag of the cache.
+	Terminated bool
+	// Facts is the size of the cached expansion.
+	Facts int
+	// Steps, Rounds and NullsCreated are cumulative across the initial
+	// build and every AddFact increment.
+	Steps, Rounds, NullsCreated int
+	// LastSteps and LastRounds describe only the most recent build or
+	// increment — after an AddFact they measure the delta, not the instance.
+	LastSteps, LastRounds int
+}
+
+// MaterializationStats reports the state of the cached materialization.
+// Cached is false when none is held (never built, or dropped after a
+// truncation/error); Epoch still reports the monotonic build/extension
+// count in that case.
+func (o *Ontology) MaterializationStats() MaterializationStats {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	m := o.mat
+	if m == nil {
+		return MaterializationStats{Epoch: o.epoch}
+	}
+	return MaterializationStats{
+		Cached:       true,
+		Epoch:        o.epoch,
+		Terminated:   m.terminated,
+		Facts:        m.ins.Size(),
+		Steps:        m.state.TotalSteps(),
+		Rounds:       m.state.TotalRounds(),
+		NullsCreated: m.state.TotalNulls(),
+		LastSteps:    m.lastSteps,
+		LastRounds:   m.lastRounds,
+	}
+}
+
 // Chase materializes the ontology: data expanded with every rule
-// consequence (restricted chase, default budgets).
+// consequence (restricted chase, default budgets). Unlike chase-mode
+// answering it always runs fresh and returns an instance the caller owns —
+// the cached materialization is neither consulted nor touched.
 func (o *Ontology) Chase() *chase.Result {
 	return o.ChaseOptions(Options{})
 }
 
-// ChaseOptions is Chase with an explicit worker count.
+// ChaseOptions is Chase with explicit worker count and budgets.
 func (o *Ontology) ChaseOptions(opts Options) *chase.Result {
-	return chase.Run(o.rules, o.data, chase.Options{Parallelism: opts.Parallelism})
+	// Write lock, not read: Relation.Clone reads lazily-built indexes, which
+	// concurrent read-locked evaluators may be building.
+	o.mu.Lock()
+	data := o.data.Clone()
+	o.mu.Unlock()
+	return chase.NewState(opts.chaseOptions()).Resume(o.rules, data, data)
 }

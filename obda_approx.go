@@ -6,14 +6,62 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/eval"
+	"repro/internal/logic"
 	"repro/internal/query"
 	"repro/internal/rewrite"
+	"repro/internal/storage"
 )
 
 // LoadCSV bulk-loads tuples for one predicate from CSV data into the
-// ontology's database (every record one tuple of constants).
+// ontology's database (every record one tuple of constants). The load is
+// atomic: on a malformed CSV nothing is inserted. Like AddFact, a cached
+// chase materialization is maintained incrementally — the genuinely new
+// tuples become the delta of a resumed chase.
 func (o *Ontology) LoadCSV(pred string, r io.Reader) (added int, err error) {
-	return o.data.LoadCSV(pred, r)
+	// Stage into a private instance first so parse errors leave the
+	// ontology untouched and the new facts are known for the delta. The
+	// staged tuples are iterated in place (Insert clones for itself), not
+	// re-cloned through Atoms().
+	staged := storage.NewInstance()
+	if _, err := staged.LoadCSV(pred, r); err != nil {
+		return 0, err
+	}
+	rel := staged.Relation(pred)
+	if rel == nil {
+		return 0, nil // empty CSV
+	}
+	atoms := make([]logic.Atom, 0, rel.Len())
+	for _, t := range rel.Tuples() {
+		atoms = append(atoms, logic.Atom{Pred: pred, Args: t})
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.dropStaleMaterializationLocked()
+	// Check the (uniform) CSV arity against the cached expansion — a
+	// superset of the base data — up front, so the load is all-or-nothing
+	// and a conflict leaves data and cache untouched.
+	want := rel.Arity()
+	if m := o.mat; m != nil {
+		if mr := m.ins.Relation(pred); mr != nil {
+			want = mr.Arity()
+		}
+	} else if dr := o.data.Relation(pred); dr != nil {
+		want = dr.Arity()
+	}
+	if rel.Arity() != want {
+		return 0, fmt.Errorf("repro: csv for %s has arity %d, existing relation has %d", pred, rel.Arity(), want)
+	}
+	for _, a := range atoms {
+		isNew, err := o.data.Insert(a)
+		if err != nil {
+			o.mat = nil // unreachable after validation; defensive
+			return added, err
+		}
+		if isNew {
+			added++
+		}
+	}
+	return added, o.extendMaterializationLocked(atoms)
 }
 
 // Approx is the outcome of approximate query answering (paper §7: what to
@@ -71,6 +119,8 @@ func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, e
 	if rw.Complete {
 		// Exact via rewriting; evaluating over the raw data suffices and
 		// the chase need not run at all.
+		o.mu.RLock()
+		defer o.mu.RUnlock()
 		return &Approx{
 			Answers:           eval.UCQ(rw.UCQ, o.data, eval.Options{FilterNulls: true}),
 			Exact:             true,
@@ -78,7 +128,27 @@ func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, e
 			QueryRewritable:   true,
 		}, nil
 	}
-	ch := chase.Run(o.rules, o.data, chase.Options{MaxSteps: opts.MaxChaseSteps})
+	// Serve the chase side from the cached materialization when it already
+	// holds a fresh fixpoint: exact under any budget, no re-chase needed.
+	o.mu.RLock()
+	if m := o.mat; m != nil && m.terminated && m.baseSize == o.data.Size() {
+		defer o.mu.RUnlock()
+		return &Approx{
+			Answers:         eval.UCQ(query.MustNewUCQ(q), m.ins, eval.Options{FilterNulls: true}),
+			Exact:           true,
+			ChaseTerminated: true,
+		}, nil
+	}
+	o.mu.RUnlock()
+	// Write lock for the snapshot, not read: Relation.Clone reads
+	// lazily-built indexes that concurrent read-locked evaluators may be
+	// building. The chase itself runs on the private clone, unlocked.
+	o.mu.Lock()
+	data := o.data.Clone()
+	snapSize := o.data.Size()
+	o.mu.Unlock()
+	st := chase.NewState(chase.Options{MaxSteps: opts.MaxChaseSteps})
+	ch := st.Resume(o.rules, data, data)
 
 	res := &Approx{
 		RewritingComplete: rw.Complete,
@@ -96,11 +166,35 @@ func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, e
 		// under-approximation (the truncated rewriting evaluated on raw
 		// data only uses certain disjuncts; the truncated chase contains
 		// only entailed facts).
+		o.mu.RLock()
 		ans := eval.UCQ(rw.UCQ, o.data, eval.Options{FilterNulls: true})
+		o.mu.RUnlock()
 		for _, t := range eval.UCQ(query.MustNewUCQ(q), ch.Instance, eval.Options{FilterNulls: true}).Tuples() {
 			ans.Add(t)
 		}
 		res.Answers = ans
+	}
+	if ch.Terminated {
+		// Donate the fixpoint to the materialization cache so later
+		// chase-mode answers (and repeated AnswerApprox calls) are cache
+		// hits. Done after all evaluation over the private instance — once
+		// installed it is shared and may be extended by AddFact. Install
+		// only if the base data did not change meanwhile and no terminated
+		// cache exists already.
+		o.mu.Lock()
+		if o.data.Size() == snapSize &&
+			(o.mat == nil || !o.mat.terminated || o.mat.baseSize != snapSize) {
+			o.epoch++
+			o.mat = &materialization{
+				ins:        ch.Instance,
+				state:      st,
+				terminated: true,
+				baseSize:   snapSize,
+				lastSteps:  ch.Steps,
+				lastRounds: ch.Rounds,
+			}
+		}
+		o.mu.Unlock()
 	}
 	return res, nil
 }
