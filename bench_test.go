@@ -9,6 +9,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/chase"
@@ -398,6 +399,122 @@ func BenchmarkIncrementalAddFact(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkDeleteFact compares DRed-style incremental deletion (DeleteFact
+// over-deletes the fact's derived closure via provenance and re-derives
+// survivors) against removing the fact and re-chasing the whole instance
+// from scratch. Each iteration deletes one pre-inserted fact and re-answers
+// the same query; the dred arm's work is proportional to the deleted
+// closure, the re-chase arm's to the instance.
+func BenchmarkDeleteFact(b *testing.B) {
+	rules := datagen.University()
+	const q = `q(X) :- person(X) .`
+	b.Run("dred", func(b *testing.B) {
+		ont := MustParse(rules.String() + "\n" + datagen.UniversityData(16, 1).String())
+		for i := 0; i < b.N; i++ {
+			if err := ont.AddFact(fmt.Sprintf("undergraduateStudent(bench%d) .", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Prime the lazy provenance recording (the first DeleteFact pays one
+		// rebuild) so the timed loop measures steady-state repairs.
+		if err := ont.AddFact("undergraduateStudent(primer) ."); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ont.DeleteFact("undergraduateStudent(primer) ."); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if n, err := ont.DeleteFact(fmt.Sprintf("undergraduateStudent(bench%d) .", i)); err != nil || n != 1 {
+				b.Fatalf("delete: n=%d err=%v", n, err)
+			}
+			if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(ont.MaterializationStats().LastSteps), "delta-steps")
+	})
+	b.Run("re-chase", func(b *testing.B) {
+		data := datagen.UniversityData(16, 1)
+		for i := 0; i < b.N; i++ {
+			if err := data.InsertAtom(logic.NewAtom("undergraduateStudent", logic.NewConst(fmt.Sprintf("bench%d", i)))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		pq := parser.MustParseQuery(q)
+		u := query.MustNewUCQ(query.MustNew(pq.Head, pq.Body))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !data.Remove(logic.NewAtom("undergraduateStudent", logic.NewConst(fmt.Sprintf("bench%d", i)))) {
+				b.Fatal("victim missing")
+			}
+			ans, res := chase.CertainAnswers(u, rules, data, chase.Options{})
+			if !res.Terminated || ans.Len() == 0 {
+				b.Fatal("chase failed")
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotContention measures chase-mode answering under writer
+// load: readers evaluate lock-free over published snapshots while a
+// background writer streams AddFact deltas. The per-answer latency should
+// match the uncontended case — readers never queue behind the writer.
+func BenchmarkSnapshotContention(b *testing.B) {
+	base := datagen.University().String() + "\n" + datagen.UniversityData(8, 1).String()
+	const q = `q(X) :- person(X) .`
+	for _, writers := range []bool{false, true} {
+		name := "readers-only"
+		if writers {
+			name = "readers+writer"
+		}
+		b.Run(name, func(b *testing.B) {
+			ont := MustParse(base)
+			if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+				b.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			if writers {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if err := ont.AddFact(fmt.Sprintf("undergraduateStudent(w%d) .", i)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
 }
 
 // BenchmarkInstanceClone measures snapshotting a chased instance — the cost

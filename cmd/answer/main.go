@@ -8,10 +8,12 @@
 //	       -query 'q(X,Y) :- ancestor(X,Y) .' [-mode auto|rewrite|chase]
 //
 // With -add, the query is answered, the facts are inserted (AddFact), and
-// the query is answered again. In chase mode the second answer is served
-// from the incrementally maintained materialization — the printed stats show
-// the delta-proportional step count. -incremental=false instead rebuilds the
-// whole ontology from scratch for comparison.
+// the query is answered again; -delete does the same with DeleteFact
+// (DRed-style incremental repair of the materialization). In chase mode the
+// second answer is served from the incrementally maintained materialization
+// — the printed stats show the delta-proportional step count.
+// -incremental=false instead rebuilds the whole ontology from scratch for
+// comparison.
 package main
 
 import (
@@ -31,7 +33,8 @@ func main() {
 	maxSteps := flag.Int("max-steps", 0, "chase trigger-firing budget (0 = default 100000)")
 	maxRounds := flag.Int("max-rounds", 0, "chase fair-round budget (0 = default 1000)")
 	add := flag.String("add", "", "facts (program text) to AddFact after the first answer, then re-answer")
-	incremental := flag.Bool("incremental", true, "with -add: maintain the cached materialization incrementally (false = rebuild the ontology from scratch)")
+	del := flag.String("delete", "", "facts (program text) to DeleteFact after the first answer (and any -add), then re-answer")
+	incremental := flag.Bool("incremental", true, "with -add/-delete: maintain the published materialization incrementally (false = rebuild the ontology from scratch)")
 	flag.Parse()
 	if *rulesPath == "" || *querySrc == "" {
 		fmt.Fprintln(os.Stderr, "usage: answer -rules FILE [-data FILE] -query 'q(X) :- ... .' [-mode M] [-add 'f(a) .']")
@@ -62,21 +65,32 @@ func main() {
 			st.Epoch, st.Facts, st.Steps, st.Rounds)
 	}
 
-	if *add == "" {
+	if *add == "" && *del == "" {
 		return
 	}
 	if !*incremental {
-		// From-scratch comparison path: a fresh ontology re-chases everything.
+		// From-scratch comparison path: a fresh ontology re-chases
+		// everything on the next answer (DeleteFact on it only touches the
+		// base data; there is no materialization to repair).
 		ont = load(*rulesPath, *dataPath)
 	}
-	if err := ont.AddFact(*add); err != nil {
-		fatal(err)
+	if *add != "" {
+		if err := ont.AddFact(*add); err != nil {
+			fatal(err)
+		}
+	}
+	if *del != "" {
+		n, err := ont.DeleteFact(*del)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "deleted %d base facts\n", n)
 	}
 	ans, err = ont.AnswerOptions(*querySrc, opts)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println("--- after -add ---")
+	fmt.Println("--- after updates ---")
 	fmt.Println(ans)
 	fmt.Fprintf(os.Stderr, "%d answers\n", ans.Len())
 	if st := ont.MaterializationStats(); st.Cached {

@@ -8,7 +8,11 @@
 // With -add, extra facts are folded in after the initial chase; -incremental
 // extends the already-chased instance by resuming the engine with just those
 // facts as the delta (the maintenance path Ontology.AddFact uses), while
-// without it the full input is re-chased from scratch for comparison.
+// without it the full input is re-chased from scratch for comparison. With
+// -delete, facts are removed after the initial chase (and after -add):
+// incrementally via DRed over-deletion/re-derivation (the path
+// Ontology.DeleteFact uses), or by a from-scratch re-chase of the surviving
+// input.
 package main
 
 import (
@@ -29,7 +33,8 @@ func main() {
 	maxRounds := flag.Int("max-rounds", 0, "fair-round budget (0 = default 1000)")
 	parallel := flag.Int("parallel", 1, "worker count for the chase (1 = sequential)")
 	add := flag.String("add", "", "extra facts (program text) to fold in after the initial chase")
-	incremental := flag.Bool("incremental", false, "with -add: resume the chase with the new facts as delta instead of re-chasing")
+	del := flag.String("delete", "", "facts (program text) to delete after the initial chase")
+	incremental := flag.Bool("incremental", false, "with -add/-delete: maintain the chased instance incrementally instead of re-chasing")
 	flag.Parse()
 	if *rulesPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: chase -rules FILE [-data FILE] [-oblivious] [-add 'f(a) .' [-incremental]]")
@@ -64,35 +69,71 @@ func main() {
 	if *oblivious {
 		opts.Variant = chase.Oblivious
 	}
+	// Incremental deletion walks the engine's derivation provenance.
+	opts.TrackProvenance = *del != "" && *incremental
 
 	st := chase.NewState(opts)
 	ins := data.Clone()
 	res := st.Resume(set, ins, ins)
 	report(opts, "initial", res, ins)
 
+	if (*add != "" || *del != "") && *incremental && !res.Terminated {
+		// Maintaining a truncated chase is unsound (dropped triggers are
+		// never reconsidered); re-chase the full input instead.
+		fmt.Fprintln(os.Stderr, "initial chase truncated; -incremental is unsound, re-chasing from scratch")
+		*incremental = false
+	}
 	if *add != "" {
 		extra, err := parser.ParseFacts(*add)
 		if err != nil {
 			fatal(err)
-		}
-		if *incremental && !res.Terminated {
-			// Resuming a truncated chase is unsound (dropped triggers are
-			// never reconsidered); re-chase the full input instead.
-			fmt.Fprintln(os.Stderr, "initial chase truncated; -incremental is unsound, re-chasing from scratch")
-			*incremental = false
 		}
 		if *incremental {
 			res, err = st.Extend(set, ins, extra)
 			if err != nil {
 				fatal(err)
 			}
-			report(opts, "incremental", res, ins)
+			report(opts, "incremental add", res, ins)
+			for _, f := range extra {
+				if err := data.InsertAtom(f); err != nil {
+					fatal(err)
+				}
+			}
 		} else {
 			for _, f := range extra {
 				if err := data.InsertAtom(f); err != nil {
 					fatal(err)
 				}
 			}
+			res = chase.Run(set, data, opts)
+			ins = res.Instance
+			report(opts, "re-chase", res, ins)
+		}
+	}
+	if *del != "" {
+		doomed, err := parser.ParseFacts(*del)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range doomed {
+			data.Remove(f)
+		}
+		if *incremental && !res.Terminated {
+			// The -add increment truncated after a terminated initial chase:
+			// deleting from a truncated state is unsound, same fallback.
+			fmt.Fprintln(os.Stderr, "increment truncated; -incremental is unsound, re-chasing from scratch")
+			*incremental = false
+		}
+		if *incremental {
+			dres, err := st.Delete(set, ins, doomed, data)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dred: requested=%d over-deleted=%d rederived=%d\n",
+				dres.Requested, dres.OverDeleted, dres.Rederived)
+			res = dres.Result
+			report(opts, "incremental delete", res, ins)
+		} else {
 			res = chase.Run(set, data, opts)
 			ins = res.Instance
 			report(opts, "re-chase", res, ins)

@@ -1,0 +1,380 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/logic"
+)
+
+// TestPropertyAddDeleteFactIncrementalEqualsScratch is the bidirectional
+// maintenance-correctness property at the public API: over seeded random
+// ontologies, a random interleaving of AddFact batches, DeleteFact batches
+// and chase-mode Answer calls — so the published materialization is
+// repeatedly extended and DRed-repaired rather than rebuilt — must end with
+// exactly the answers of an ontology chased from scratch on the surviving
+// facts. Sequential and parallel, race-clean under -race.
+func TestPropertyAddDeleteFactIncrementalEqualsScratch(t *testing.T) {
+	families := []datagen.Family{datagen.FamilyLinear, datagen.FamilyChain, datagen.FamilySticky}
+	for _, fam := range families {
+		for seed := int64(1); seed <= 5; seed++ {
+			for _, par := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%v/seed=%d/par=%d", fam, seed, par), func(t *testing.T) {
+					set := datagen.Rules(datagen.Config{Family: fam, Rules: 5, Seed: seed})
+					data := datagen.Instance(set, 20, 8, seed)
+					atoms := data.Atoms()
+
+					rng := rand.New(rand.NewSource(seed * 15485863))
+					rng.Shuffle(len(atoms), func(i, j int) { atoms[i], atoms[j] = atoms[j], atoms[i] })
+
+					// Start with two thirds of the data; the rest is the
+					// insertion reserve. Track the live base in a mirror.
+					cut := 2 * len(atoms) / 3
+					live := make(map[string]logic.Atom)
+					for _, a := range atoms[:cut] {
+						live[a.Key()] = a
+					}
+					reserve := atoms[cut:]
+
+					ont, err := Parse(set.String() + "\n" + factSrc(atoms[:cut]))
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := Options{Mode: ModeChase, Parallelism: par}
+					queries := atomicQueries(t, ont)
+					if _, err := ont.AnswerOptions(queries[0], opts); err != nil {
+						t.Skipf("initial chase over budget: %v", err)
+					}
+
+					for step := 0; step < 30; step++ {
+						switch {
+						case rng.Intn(2) == 0 && len(reserve) > 0: // insert
+							n := 1 + rng.Intn(3)
+							if n > len(reserve) {
+								n = len(reserve)
+							}
+							if err := ont.AddFact(factSrc(reserve[:n])); err != nil {
+								t.Fatal(err)
+							}
+							for _, a := range reserve[:n] {
+								live[a.Key()] = a
+							}
+							reserve = reserve[n:]
+						case len(live) > 0: // delete
+							var victims []logic.Atom
+							want := 1 + rng.Intn(3)
+							for _, a := range live {
+								victims = append(victims, a)
+								if len(victims) == want {
+									break
+								}
+							}
+							n, err := ont.DeleteFact(factSrc(victims))
+							if err != nil {
+								t.Fatal(err)
+							}
+							if n != len(victims) {
+								t.Fatalf("DeleteFact removed %d of %d live facts", n, len(victims))
+							}
+							for _, a := range victims {
+								delete(live, a.Key())
+							}
+						}
+						if rng.Intn(2) == 0 {
+							if _, err := ont.AnswerOptions(queries[rng.Intn(len(queries))], opts); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+
+					var final []logic.Atom
+					for _, a := range live {
+						final = append(final, a)
+					}
+					ontScratch, err := Parse(set.String() + "\n" + factSrc(final))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, q := range queries {
+						inc, errInc := ont.AnswerOptions(q, opts)
+						scr, errScr := ontScratch.AnswerOptions(q, opts)
+						if (errInc == nil) != (errScr == nil) {
+							t.Fatalf("%s: error divergence: inc=%v scratch=%v", q, errInc, errScr)
+						}
+						if errInc != nil {
+							continue
+						}
+						if !inc.Equal(scr) {
+							t.Errorf("%s: answers differ:\nincremental:\n%s\nscratch:\n%s", q, inc, scr)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDeleteFactWorkProportionalToClosure asserts, through the public
+// counters, that DeleteFact repairs the materialization with work
+// proportional to the deleted closure: the repair's steps are a handful
+// while the initial build's were hundreds, and the answers lose exactly the
+// deleted student.
+func TestDeleteFactWorkProportionalToClosure(t *testing.T) {
+	ont := MustParse(datagen.University().String() + "\n" + datagen.UniversityData(16, 1).String())
+	const q = `q(X) :- person(X) .`
+	if err := ont.AddFact(`undergraduateStudent(doomed) . undergraduateStudent(primer) .`); err != nil {
+		t.Fatal(err)
+	}
+	// Provenance recording is lazy: the first DeleteFact drops the cache and
+	// flips it on, so prime with a throwaway deletion before measuring.
+	if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ont.DeleteFact(`undergraduateStudent(primer) .`); err != nil || n != 1 {
+		t.Fatalf("priming delete: n=%d err=%v", n, err)
+	}
+	if st := ont.MaterializationStats(); st.Cached {
+		t.Fatalf("first delete must drop the provenance-less cache: %+v", st)
+	}
+	before, err := ont.AnswerMode(q, ModeChase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := ont.MaterializationStats()
+	if s0.LastSteps < 100 {
+		t.Fatalf("initial build fired %d steps; workload too small for the proportionality claim", s0.LastSteps)
+	}
+
+	n, err := ont.DeleteFact(`undergraduateStudent(doomed) .`)
+	if err != nil || n != 1 {
+		t.Fatalf("DeleteFact: n=%d err=%v", n, err)
+	}
+	after, err := ont.AnswerMode(q, ModeChase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := ont.MaterializationStats()
+	if !s1.Cached || s1.Epoch != s0.Epoch+1 {
+		t.Errorf("stats after delete = %+v, want epoch bump on the repaired cache", s1)
+	}
+	if s1.LastSteps > 10 {
+		t.Errorf("repair LastSteps = %d, want a handful (initial build: %d)", s1.LastSteps, s0.LastSteps)
+	}
+	if after.Len() != before.Len()-1 {
+		t.Errorf("answers: %d -> %d, want exactly one person fewer", before.Len(), after.Len())
+	}
+	if after.Contains([]logic.Term{logic.NewConst("doomed")}) {
+		t.Error("person(doomed) must be gone after DeleteFact")
+	}
+
+	// Deleting an absent fact is a free no-op: no epoch bump, same answers.
+	if n, err := ont.DeleteFact(`undergraduateStudent(ghost) .`); err != nil || n != 0 {
+		t.Fatalf("absent delete: n=%d err=%v", n, err)
+	}
+	if s2 := ont.MaterializationStats(); s2.Epoch != s1.Epoch {
+		t.Errorf("absent delete bumped the epoch: %+v", s2)
+	}
+}
+
+// TestDeleteFactKeepsDerivableFacts: deleting a base fact that is also
+// derivable from the surviving base must remove the base copy but keep the
+// fact in the certain answers — the DRed base-guard plus re-derivation.
+func TestDeleteFactKeepsDerivableFacts(t *testing.T) {
+	ont := MustParse(`
+student(X) -> person(X) .
+student(alice) .
+person(alice) .
+person(bob) .
+student(primer) .
+`)
+	const q = `q(X) :- person(X) .`
+	if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+		t.Fatal(err)
+	}
+	// Prime the lazy provenance recording so the assertions below exercise
+	// the DRed repair path, not the drop-and-rebuild of a first deletion.
+	if n, err := ont.DeleteFact(`student(primer) .`); err != nil || n != 1 {
+		t.Fatalf("priming delete: n=%d err=%v", n, err)
+	}
+	if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+		t.Fatal(err)
+	}
+	// person(alice) is base AND derivable from student(alice): deleting the
+	// base copy must not remove it from the expansion.
+	if n, err := ont.DeleteFact(`person(alice) .`); err != nil || n != 1 {
+		t.Fatalf("delete person(alice): n=%d err=%v", n, err)
+	}
+	ans, err := ont.AnswerMode(q, ModeChase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Contains([]logic.Term{logic.NewConst("alice")}) {
+		t.Errorf("person(alice) must survive via student(alice):\n%s", ans)
+	}
+	// Deleting the supporting student fact now removes it for good.
+	if n, err := ont.DeleteFact(`student(alice) .`); err != nil || n != 1 {
+		t.Fatalf("delete student(alice): n=%d err=%v", n, err)
+	}
+	ans, err = ont.AnswerMode(q, ModeChase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Contains([]logic.Term{logic.NewConst("alice")}) || ans.Len() != 1 {
+		t.Errorf("want only person(bob) left:\n%s", ans)
+	}
+}
+
+// TestEqualSizeOutOfBandMutationDetected is the staleness-mask regression:
+// an out-of-band insert+delete pair of equal counts keeps Data().Size()
+// constant, which fooled the old size-based staleness check into serving
+// stale answers. The mutation counter must catch it.
+func TestEqualSizeOutOfBandMutationDetected(t *testing.T) {
+	ont := MustParse(`
+student(X) -> person(X) .
+student(alice) .
+student(bob) .
+`)
+	const q = `q(X) :- person(X) .`
+	if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+		t.Fatal(err)
+	}
+	size := ont.Data().Size()
+	// Balanced out-of-band mutation: size unchanged, contents changed.
+	if !ont.Data().Remove(logic.NewAtom("student", logic.NewConst("bob"))) {
+		t.Fatal("out-of-band remove failed")
+	}
+	if err := ont.Data().InsertAtom(logic.NewAtom("student", logic.NewConst("carol"))); err != nil {
+		t.Fatal(err)
+	}
+	if ont.Data().Size() != size {
+		t.Fatal("mutation was supposed to be size-neutral")
+	}
+	ans, err := ont.AnswerMode(q, ModeChase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Contains([]logic.Term{logic.NewConst("bob")}) || !ans.Contains([]logic.Term{logic.NewConst("carol")}) {
+		t.Errorf("stale cache served after size-neutral out-of-band mutation:\n%s", ans)
+	}
+	// Rewrite mode reads its own snapshot; it must detect the same thing.
+	ans, err = ont.AnswerMode(q, ModeRewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Contains([]logic.Term{logic.NewConst("bob")}) || !ans.Contains([]logic.Term{logic.NewConst("carol")}) {
+		t.Errorf("stale base snapshot served in rewrite mode:\n%s", ans)
+	}
+}
+
+// TestAnswersDoNotBlockBehindWriters is the stall regression for the
+// reader-stall defect: chase- and rewrite-mode answering over published
+// snapshots must complete while a writer holds the data lock exclusively —
+// previously readers held the RWMutex across the whole evaluation, so one
+// queued writer stalled every later reader. The test simulates a writer
+// parked mid-mutation by holding o.mu for writing and requires concurrent
+// answers to finish anyway.
+func TestAnswersDoNotBlockBehindWriters(t *testing.T) {
+	ont := MustParse(datagen.University().String() + "\n" + datagen.UniversityData(2, 1).String())
+	const q = `q(X) :- person(X) .`
+	// Publish both snapshots before locking the writers out.
+	if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ont.AnswerMode(q, ModeRewrite); err != nil {
+		t.Fatal(err)
+	}
+
+	ont.mu.Lock() // a writer parked mid-mutation
+	defer ont.mu.Unlock()
+	done := make(chan error, 4)
+	for _, mode := range []AnswerMode{ModeChase, ModeRewrite, ModeChase, ModeRewrite} {
+		mode := mode
+		go func() {
+			_, err := ont.AnswerMode(q, mode)
+			done <- err
+		}()
+	}
+	timeout := time.After(10 * time.Second)
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Error(err)
+			}
+		case <-timeout:
+			t.Fatal("reader stalled behind a writer holding the data lock")
+		}
+	}
+}
+
+// TestConcurrentAnswerAddDelete hammers the snapshot seam from both
+// directions: readers answer in chase mode over published snapshots while
+// one writer streams AddFact deltas and another streams DeleteFact repairs.
+// Under -race this is the coordination test; afterwards the answers must
+// equal a from-scratch chase of the final data.
+func TestConcurrentAnswerAddDelete(t *testing.T) {
+	base := datagen.University().String() + "\n" + datagen.UniversityData(2, 1).String()
+	ont := MustParse(base)
+	const q = `q(X) :- person(X) .`
+	if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+		t.Fatal(err)
+	}
+
+	const ops = 15
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ops; i++ {
+			if err := ont.AddFact(fmt.Sprintf("graduateStudent(g%d) .", i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ops; i++ {
+			if err := ont.AddFact(fmt.Sprintf("undergraduateStudent(u%d) .", i)); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := ont.DeleteFact(fmt.Sprintf("undergraduateStudent(u%d) .", i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ops; i++ {
+			if _, err := ont.AnswerOptions(q, Options{Mode: ModeChase, Parallelism: 2}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	scratch := MustParse(base)
+	for i := 0; i < ops; i++ {
+		if err := scratch.AddFact(fmt.Sprintf("graduateStudent(g%d) .", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ont.AnswerMode(q, ModeChase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scratch.AnswerMode(q, ModeChase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("concurrent add/delete maintenance diverged:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

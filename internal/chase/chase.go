@@ -79,6 +79,11 @@ type Options struct {
 	// within a round (0 or 1 = sequential). The resulting instance is a
 	// valid chase for any value; certain answers are identical.
 	Parallelism int
+	// TrackProvenance records, for every fired trigger, the ground body
+	// facts consumed and head facts produced. The provenance graph is what
+	// State.Delete needs for DRed-style incremental deletion; runs that will
+	// never delete can leave it off and pay nothing.
+	TrackProvenance bool
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,233 @@
+// DRed-style incremental deletion for a maintained chase (Gupta, Mumick &
+// Subrahmanian's delete-and-rederive, adapted to TGDs with labelled nulls).
+//
+// Deleting base facts from a chased instance proceeds in two sweeps over the
+// derivation provenance the engine records when Options.TrackProvenance is
+// set:
+//
+//  1. over-deletion — the requested facts are removed together with the
+//     closure of everything derived through them: walking the consumer edges
+//     of the provenance graph, any firing that consumed a removed fact has
+//     its outputs removed too, transitively. This over-approximates (a
+//     removed fact may have an independent surviving derivation);
+//  2. re-derivation — triggers that can restore removed facts are found
+//     semi-naively from the removed facts themselves: each removed fact is
+//     unified with rule heads and the rule bodies are joined against the
+//     surviving instance from that seed, so the work is proportional to the
+//     deleted closure, not to the instance. Survivor triggers re-fire under
+//     the usual variant discipline and their consequences propagate through
+//     an ordinary semi-naive Resume.
+//
+// The result is a valid chase of the remaining base data: certain answers
+// equal a from-scratch chase (property-tested for both variants, sequential
+// and parallel states). Only labelled-null names and redundant-null counts
+// may differ, exactly as for parallelism.
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/dependency"
+	"repro/internal/eval"
+	"repro/internal/logic"
+	"repro/internal/storage"
+)
+
+// DeleteResult describes one incremental deletion pass.
+type DeleteResult struct {
+	// Requested counts the facts named by the caller that were present and
+	// removed (absent facts are no-ops).
+	Requested int
+	// OverDeleted counts the additional facts removed by the closure sweep.
+	OverDeleted int
+	// Rederived counts removed facts restored directly by a surviving
+	// trigger in the re-derivation sweep (facts restored deeper in the
+	// propagation are not counted here).
+	Rederived int
+	// Result is the re-derivation increment: Steps/Rounds/NullsCreated count
+	// the refires (direct and propagated), and Terminated reports whether
+	// the propagation reached its fixpoint within budget.
+	Result *Result
+}
+
+// Delete removes the given ground base facts from ins and incrementally
+// repairs the chase: the deleted closure is over-deleted via the recorded
+// provenance, then survivors are re-derived against the remaining instance.
+// The work is proportional to the consequences of the deletion (see
+// DeleteResult's counters), not to the instance.
+//
+// base is the surviving base data (with the requested facts already gone):
+// the closure sweep never removes a fact still present in it, since a base
+// fact needs no derivation — without the guard, a fact that is both base
+// and derived would be over-deleted through its dead derivation and lost
+// (rules cannot re-derive it). nil disables the guard, for callers whose
+// base facts are never also rule heads.
+//
+// The state must have been created with Options.TrackProvenance and must not
+// be truncated (a truncated chase dropped triggers that deletion cannot
+// reconsider) — either condition is an error telling the caller to rebuild
+// from scratch instead. ins must be the instance this state materialized,
+// possibly behind storage.ExtendClone.
+func (st *State) Delete(rules *dependency.Set, ins *storage.Instance, facts []logic.Atom, base *storage.Instance) (*DeleteResult, error) {
+	if st.prov == nil {
+		return nil, fmt.Errorf("chase: Delete needs a state built with Options.TrackProvenance")
+	}
+	if st.truncated {
+		return nil, fmt.Errorf("chase: cannot delete from a truncated chase; rebuild from scratch")
+	}
+	res := &DeleteResult{Result: &Result{Instance: ins, Terminated: true}}
+
+	// Over-deletion sweep: remove the requested facts, then walk consumer
+	// edges breadth-first removing everything derived through a removed
+	// fact. Dead derivations are marked so later deletions skip them, and
+	// semi-oblivious trigger memory is cleared for every firing that either
+	// consumed or produced a removed fact, so re-derivation may re-fire it.
+	removed := make(map[string]bool)
+	var queue []logic.Atom
+	for _, f := range facts {
+		if !f.IsGround() {
+			return nil, fmt.Errorf("chase: cannot delete non-ground atom %v", f)
+		}
+		if k := f.Key(); !removed[k] && ins.Remove(f) {
+			removed[k] = true
+			queue = append(queue, f)
+			res.Requested++
+		}
+	}
+	if res.Requested == 0 {
+		return res, nil
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		fk := queue[qi].Key()
+		if st.prov.producers != nil {
+			for _, di := range st.prov.producers[fk] {
+				if t := st.prov.derivs[di].trigger; t != "" {
+					delete(st.fired, t)
+				}
+			}
+			delete(st.prov.producers, fk)
+		}
+		for _, di := range st.prov.consumers[fk] {
+			d := &st.prov.derivs[di]
+			if d.dead {
+				continue
+			}
+			d.dead = true
+			if d.trigger != "" {
+				delete(st.fired, d.trigger)
+			}
+			for _, h := range d.heads {
+				if base != nil && base.ContainsAtom(h) {
+					continue // still a base fact; needs no derivation
+				}
+				if hk := h.Key(); !removed[hk] && ins.Remove(h) {
+					removed[hk] = true
+					queue = append(queue, h)
+					res.OverDeleted++
+				}
+			}
+		}
+		delete(st.prov.consumers, fk)
+	}
+
+	// Re-derivation sweep, seeded by the removed facts: any trigger the
+	// deletion could have unsuppressed must produce (or have had its head
+	// satisfied by) a removed fact, so unifying rule heads with removed
+	// facts and joining the body from that seed enumerates every candidate
+	// without touching the unaffected part of the instance.
+	cands := st.collectRederiveTriggers(rules, ins, queue)
+	delta := storage.NewInstance()
+	steps, nulls := 0, 0
+	for _, tr := range cands {
+		rule := rules.Rules[tr.rule]
+		if st.opts.Variant == Restricted && headSatisfied(rule, tr.frontier, ins) {
+			continue
+		}
+		if st.opts.Variant == Oblivious {
+			key := triggerKey(tr.rule, tr.frontier, rule.Distinguished())
+			if st.fired[key] {
+				continue
+			}
+			st.fired[key] = true
+		}
+		steps++
+		heads, n := instantiateHead(rule, tr.frontier, st.gens[0])
+		nulls += n
+		for _, ha := range heads {
+			added, err := ins.Insert(ha)
+			if err != nil {
+				panic(err) // arity conflicts are caught at rule-set validation
+			}
+			if added {
+				if removed[ha.Key()] {
+					res.Rederived++
+				}
+				if _, err := delta.Insert(ha); err != nil {
+					panic(err)
+				}
+			}
+		}
+		d := st.newDerivation(rules, tr)
+		d.heads = heads
+		st.prov.add(d)
+	}
+	st.steps += steps
+	st.nulls += nulls
+
+	// Propagate the restored facts semi-naively; an empty delta means the
+	// deletion reached its fixpoint in the direct sweep.
+	rres := &Result{Instance: ins, Terminated: true}
+	if delta.Size() > 0 {
+		rres = st.Resume(rules, ins, delta)
+	}
+	res.Result = &Result{
+		Instance:     ins,
+		Terminated:   rres.Terminated,
+		Steps:        rres.Steps + steps,
+		Rounds:       rres.Rounds,
+		NullsCreated: rres.NullsCreated + nulls,
+	}
+	return res, nil
+}
+
+// collectRederiveTriggers enumerates, deduplicated, every trigger whose
+// firing could restore one of the removed facts: for each removed fact and
+// each rule head atom it unifies with, the rule body is joined against the
+// surviving instance starting from the unification seed. Existential head
+// positions bind freely during unification but are dropped from the seed
+// (they are not body variables); the full head-satisfaction check happens at
+// fire time.
+func (st *State) collectRederiveTriggers(rules *dependency.Set, ins *storage.Instance, removed []logic.Atom) []trigger {
+	var out []trigger
+	seen := make(map[int]map[string]bool)
+	for _, f := range removed {
+		tup := storage.Tuple(f.Args)
+		for ri, rule := range rules.Rules {
+			bodyVars := rule.BodyVars()
+			for _, h := range rule.Head {
+				if h.Pred != f.Pred || h.Arity() != f.Arity() {
+					continue
+				}
+				seed, ok := seedFromTuple(h, tup)
+				if !ok {
+					continue
+				}
+				ruleSeen := seen[ri]
+				if ruleSeen == nil {
+					ruleSeen = make(map[string]bool)
+					seen[ri] = ruleSeen
+				}
+				eval.MatchesSeeded(rule.Body, ins, seed.Restrict(bodyVars), func(s logic.Subst) bool {
+					frontier := s.Restrict(bodyVars)
+					key := bindingKey(frontier, bodyVars)
+					if !ruleSeen[key] {
+						ruleSeen[key] = true
+						out = append(out, trigger{rule: ri, frontier: frontier})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return out
+}

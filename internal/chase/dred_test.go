@@ -1,0 +1,221 @@
+package chase
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// TestDeleteIncrementalEqualsScratch is the deletion-correctness property at
+// the engine level: chasing the full data and then deleting random chunks of
+// base facts — with AddFact-style Extend calls interleaved — must leave the
+// same null-free fact set as a from-scratch chase of the surviving base
+// facts. Both variants, sequential and parallel: the restricted variant
+// exercises the head-unification re-derivation seeds, the oblivious variant
+// the fired-memory clearing.
+func TestDeleteIncrementalEqualsScratch(t *testing.T) {
+	families := []datagen.Family{
+		datagen.FamilyLinear, datagen.FamilyMultilinear,
+		datagen.FamilySticky, datagen.FamilyChain,
+	}
+	for _, fam := range families {
+		for seed := int64(1); seed <= 4; seed++ {
+			for _, variant := range []Variant{Restricted, Oblivious} {
+				for _, par := range []int{1, 4} {
+					name := fmt.Sprintf("%v/seed=%d/%v/par=%d", fam, seed, variant, par)
+					t.Run(name, func(t *testing.T) {
+						rules := datagen.Rules(datagen.Config{Family: fam, Rules: 6, Seed: seed})
+						data := datagen.Instance(rules, 25, 8, seed)
+						opts := Options{Variant: variant, MaxRounds: 60, MaxSteps: 40000, Parallelism: par, TrackProvenance: true}
+
+						base := data.Atoms()
+						rng := rand.New(rand.NewSource(seed * 104729))
+						rng.Shuffle(len(base), func(i, j int) { base[i], base[j] = base[j], base[i] })
+
+						st := NewState(opts)
+						ins := data.Clone()
+						res := st.Resume(rules, ins, ins)
+						if !res.Terminated {
+							t.Skip("initial chase truncated; nothing exact to compare")
+						}
+
+						// Delete the first half of the shuffled base in a few
+						// chunks, keeping a mirror of the surviving base.
+						remaining := base[len(base)/2:]
+						doomed := base[:len(base)/2]
+						baseIns := storage.MustFromAtoms(base)
+						for len(doomed) > 0 {
+							n := 1 + rng.Intn(4)
+							if n > len(doomed) {
+								n = len(doomed)
+							}
+							for _, f := range doomed[:n] {
+								baseIns.Remove(f)
+							}
+							dres, err := st.Delete(rules, ins, doomed[:n], baseIns)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !dres.Result.Terminated {
+								t.Fatal("re-derivation truncated under the scratch budget")
+							}
+							doomed = doomed[n:]
+						}
+
+						scratch := Run(rules, storage.MustFromAtoms(remaining), opts)
+						if !scratch.Terminated {
+							t.Fatal("scratch chase of the survivors truncated")
+						}
+						if sf, inf := constFacts(scratch.Instance), constFacts(ins); sf != inf {
+							t.Errorf("null-free facts differ after deletions:\nscratch:\n%s\nincremental:\n%s", sf, inf)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDeleteRederivesSurvivors: a fact with two independent derivations must
+// survive the deletion of one of them, and the counters must expose the
+// over-delete / re-derive cycle.
+func TestDeleteRederivesSurvivors(t *testing.T) {
+	rules := parser.MustParseRules(`
+student(X) -> person(X) .
+employee(X) -> person(X) .
+person(X) -> entity(X) .
+`)
+	d := data(
+		at("student", c("dana")),
+		at("employee", c("dana")),
+		at("student", c("solo")),
+	)
+	opts := Options{TrackProvenance: true}
+	st := NewState(opts)
+	ins := d.Clone()
+	baseIns := d.Clone() // mirror of the surviving base data
+	if res := st.Resume(rules, ins, ins); !res.Terminated {
+		t.Fatal("chase must terminate")
+	}
+
+	// Deleting student(dana) over-deletes person(dana) and entity(dana), but
+	// both must be re-derived through employee(dana).
+	baseIns.Remove(at("student", c("dana")))
+	dres, err := st.Delete(rules, ins, []logic.Atom{at("student", c("dana"))}, baseIns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Requested != 1 {
+		t.Errorf("Requested = %d, want 1", dres.Requested)
+	}
+	if dres.OverDeleted == 0 || dres.Rederived == 0 {
+		t.Errorf("counters = %+v, want an over-delete/re-derive cycle", dres)
+	}
+	for _, a := range []logic.Atom{at("person", c("dana")), at("entity", c("dana"))} {
+		if !ins.ContainsAtom(a) {
+			t.Errorf("%v must survive via the employee derivation", a)
+		}
+	}
+	if ins.ContainsAtom(at("student", c("dana"))) {
+		t.Error("student(dana) must be gone")
+	}
+
+	// Deleting student(solo) takes its whole closure with it: nothing
+	// re-derives person(solo).
+	baseIns.Remove(at("student", c("solo")))
+	dres, err = st.Delete(rules, ins, []logic.Atom{at("student", c("solo"))}, baseIns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Rederived != 0 {
+		t.Errorf("Rederived = %d, want 0", dres.Rederived)
+	}
+	for _, a := range []logic.Atom{at("student", c("solo")), at("person", c("solo")), at("entity", c("solo"))} {
+		if ins.ContainsAtom(a) {
+			t.Errorf("%v must be deleted with its closure", a)
+		}
+	}
+
+	// Deleting an absent fact is a no-op.
+	dres, err = st.Delete(rules, ins, []logic.Atom{at("student", c("ghost"))}, baseIns)
+	if err != nil || dres.Requested != 0 || dres.Result.Steps != 0 {
+		t.Errorf("absent deletion: %+v err=%v, want a no-op", dres, err)
+	}
+}
+
+// TestDeleteWorkProportionalToClosure: deleting one base fact from a large
+// chased instance must fire a handful of re-derivation steps, far below the
+// initial materialization — the counters are the delta-proportionality claim
+// of the acceptance criteria.
+func TestDeleteWorkProportionalToClosure(t *testing.T) {
+	rules := datagen.University()
+	data := datagen.UniversityData(16, 1)
+	opts := Options{TrackProvenance: true}
+	st := NewState(opts)
+	ins := data.Clone()
+	first := st.Resume(rules, ins, ins)
+	if !first.Terminated {
+		t.Fatal("initial chase must terminate")
+	}
+	if first.Steps < 100 {
+		t.Fatalf("initial steps = %d; workload too small for the proportionality claim", first.Steps)
+	}
+	before := st.TotalSteps()
+
+	// Pick one undergraduate and delete it: the closure is that student's
+	// handful of derived memberships, not the university.
+	var victim logic.Atom
+	for _, a := range ins.Atoms() {
+		if a.Pred == "undergraduateStudent" {
+			victim = a
+			break
+		}
+	}
+	if victim.Pred == "" {
+		t.Fatal("no undergraduateStudent in the generated data")
+	}
+	dres, err := st.Delete(rules, ins, []logic.Atom{victim}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dres.Result.Terminated {
+		t.Fatal("re-derivation must terminate")
+	}
+	total := dres.Requested + dres.OverDeleted
+	if total == 0 || total > 10 {
+		t.Errorf("deleted closure = %d facts, want a handful", total)
+	}
+	if dres.Result.Steps > 10 {
+		t.Errorf("re-derivation steps = %d, want a handful (initial run: %d)", dres.Result.Steps, first.Steps)
+	}
+	if got := st.TotalSteps() - before; got != dres.Result.Steps {
+		t.Errorf("cumulative steps moved by %d, want the increment %d", got, dres.Result.Steps)
+	}
+}
+
+// TestDeleteRequiresProvenance: states built without provenance (or after a
+// truncated run) must refuse to delete instead of silently corrupting.
+func TestDeleteRequiresProvenance(t *testing.T) {
+	rules := parser.MustParseRules(`student(X) -> person(X) .`)
+	d := data(at("student", c("a")))
+	st := NewState(Options{})
+	ins := d.Clone()
+	st.Resume(rules, ins, ins)
+	if _, err := st.Delete(rules, ins, []logic.Atom{at("student", c("a"))}, nil); err == nil {
+		t.Error("Delete without TrackProvenance must error")
+	}
+
+	st2 := NewState(Options{MaxSteps: 1, TrackProvenance: true})
+	ins2 := data(at("student", c("a")), at("student", c("b"))).Clone()
+	if res := st2.Resume(rules, ins2, ins2); res.Terminated {
+		t.Fatal("tiny budget must truncate")
+	}
+	if _, err := st2.Delete(rules, ins2, []logic.Atom{at("student", c("a"))}, nil); err == nil {
+		t.Error("Delete on a truncated state must error")
+	}
+}

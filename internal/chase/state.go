@@ -21,11 +21,50 @@ type State struct {
 	opts  Options
 	gens  []*logic.VarGen
 	fired map[string]bool // semi-oblivious trigger memory, nil when Restricted
+	prov  *provenance     // derivation graph, nil unless Options.TrackProvenance
 
 	steps     int
 	rounds    int
 	nulls     int
 	truncated bool
+}
+
+// derivation records one fired trigger: which rule, the ground body facts it
+// consumed and the ground head facts it produced. trigger carries the
+// semi-oblivious memory key (empty for the restricted variant) so deletion
+// can clear the memory when the firing's outputs are removed.
+type derivation struct {
+	rule    int
+	trigger string
+	body    []string // fact keys (logic.Atom.Key) consumed
+	heads   []logic.Atom
+	dead    bool // a body fact was deleted; skip in future traversals
+}
+
+// provenance is the derivation graph accumulated across Resume calls:
+// consumers maps a fact key to the derivations that used it in their body
+// (the edge set the over-deletion closure walks), producers maps a fact key
+// to the derivations that produced it (maintained only for the oblivious
+// variant, whose fired-trigger memory must be cleared when outputs vanish).
+type provenance struct {
+	derivs    []derivation
+	consumers map[string][]int
+	producers map[string][]int // nil when Restricted
+}
+
+// add appends a derivation and indexes its edges.
+func (p *provenance) add(d derivation) {
+	di := len(p.derivs)
+	p.derivs = append(p.derivs, d)
+	for _, bk := range d.body {
+		p.consumers[bk] = append(p.consumers[bk], di)
+	}
+	if p.producers != nil {
+		for _, h := range d.heads {
+			hk := h.Key()
+			p.producers[hk] = append(p.producers[hk], di)
+		}
+	}
 }
 
 // NewState creates the engine state for a materialization chased with the
@@ -49,8 +88,18 @@ func NewState(opts Options) *State {
 	if opts.Variant == Oblivious {
 		st.fired = make(map[string]bool)
 	}
+	if opts.TrackProvenance {
+		st.prov = &provenance{consumers: make(map[string][]int)}
+		if opts.Variant == Oblivious {
+			st.prov.producers = make(map[string][]int)
+		}
+	}
 	return st
 }
+
+// TracksProvenance reports whether the state records derivation provenance,
+// i.e. whether Delete can maintain it incrementally.
+func (st *State) TracksProvenance() bool { return st.prov != nil }
 
 // Options returns the (defaulted) options the state was created with.
 func (st *State) Options() Options { return st.opts }
@@ -92,6 +141,41 @@ func (st *State) Extend(rules *dependency.Set, ins *storage.Instance, facts []lo
 		return &Result{Instance: ins, Terminated: true}, nil
 	}
 	return st.Resume(rules, ins, delta), nil
+}
+
+// instantiateHead grounds the rule head for a firing of frontier: frontier
+// variables from the trigger, existential head variables as fresh nulls from
+// gen. Returns the ground head atoms and the null count. Shared by the
+// Resume firing loop and the DRed re-derivation sweep so the invention
+// discipline cannot drift between them.
+func instantiateHead(rule *dependency.TGD, frontier logic.Subst, gen *logic.VarGen) ([]logic.Atom, int) {
+	inst := frontier.Clone()
+	nulls := 0
+	for _, e := range rule.ExistentialHead() {
+		inst.Bind(e, gen.FreshNull())
+		nulls++
+	}
+	heads := make([]logic.Atom, len(rule.Head))
+	for i, h := range rule.Head {
+		heads[i] = inst.ApplyAtom(h)
+	}
+	return heads, nulls
+}
+
+// newDerivation starts the provenance record for a firing of tr: the rule,
+// the semi-oblivious memory key (oblivious variant only) and the ground body
+// facts the trigger consumed. Head facts are appended by the caller as they
+// are instantiated.
+func (st *State) newDerivation(rules *dependency.Set, tr trigger) derivation {
+	rule := rules.Rules[tr.rule]
+	d := derivation{rule: tr.rule, body: make([]string, 0, len(rule.Body))}
+	if st.opts.Variant == Oblivious {
+		d.trigger = triggerKey(tr.rule, tr.frontier, rule.Distinguished())
+	}
+	for _, b := range rule.Body {
+		d.body = append(d.body, tr.frontier.ApplyAtom(b).Key())
+	}
+	return d
 }
 
 // Resume runs the chase fixpoint on ins starting from an explicit delta: only
@@ -154,6 +238,10 @@ func (st *State) Resume(rules *dependency.Set, ins, delta *storage.Instance) *Re
 		// into a private shard against the frozen instance.
 		shards := make([]*storage.Shard, workers)
 		nulls := make([]int, workers)
+		var provs [][]derivation
+		if st.prov != nil {
+			provs = make([][]derivation, workers)
+		}
 		runTasks(workers, workers, func(w int) {
 			shard := storage.NewShard()
 			shards[w] = shard
@@ -171,28 +259,35 @@ func (st *State) Resume(rules *dependency.Set, ins, delta *storage.Instance) *Re
 					truncated.Store(true)
 					return
 				}
-				// Instantiate head: frontier variables from the trigger,
-				// existential head variables as fresh nulls.
-				inst := tr.frontier.Clone()
-				for _, e := range rule.ExistentialHead() {
-					inst.Bind(e, st.gens[w].FreshNull())
-					nulls[w]++
-				}
-				for _, h := range rule.Head {
-					if _, err := shard.Insert(inst.ApplyAtom(h)); err != nil {
+				heads, n := instantiateHead(rule, tr.frontier, st.gens[w])
+				nulls[w] += n
+				for _, ha := range heads {
+					if _, err := shard.Insert(ha); err != nil {
 						// Arity conflicts are caught at rule-set validation;
 						// reaching here is a programming error.
 						panic(err)
 					}
 				}
+				if st.prov != nil {
+					d := st.newDerivation(rules, tr)
+					d.heads = heads
+					provs[w] = append(provs[w], d)
+				}
 			}
 		})
 
 		// Round barrier: single-writer merge of all shards, producing the
-		// next delta.
+		// next delta, and of the workers' provenance records.
 		newDelta, err := ins.MergeShards(shards...)
 		if err != nil {
 			panic(err)
+		}
+		if st.prov != nil {
+			for _, ds := range provs {
+				for _, d := range ds {
+					st.prov.add(d)
+				}
+			}
 		}
 		for _, n := range nulls {
 			res.NullsCreated += n

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/logic"
 )
@@ -82,6 +83,7 @@ func (r *Relation) Len() int { return len(r.tuples) }
 
 // Insert adds the tuple, reporting whether it was new. It panics on arity
 // mismatch (a programming error, since callers validate predicates).
+// Single-writer, like all Relation mutations.
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("storage: tuple arity %d for relation %s/%d", len(t), r.name, r.arity))
@@ -99,6 +101,68 @@ func (r *Relation) Insert(t Tuple) bool {
 		}
 	}
 	return true
+}
+
+// Remove deletes the tuple, reporting whether it was present. The vacated
+// slot is filled by swapping in the last tuple, and already-built per-column
+// indexes are maintained in place (postings of the removed tuple dropped,
+// postings of the moved tuple renamed), so a deletion costs O(arity ·
+// posting-list) instead of an index rebuild. Single-writer, like Insert.
+func (r *Relation) Remove(t Tuple) bool {
+	k := t.Key()
+	i, ok := r.keys[k]
+	if !ok {
+		return false
+	}
+	last := len(r.tuples) - 1
+	if r.index != nil {
+		for col, term := range r.tuples[i] {
+			dropOffset(r.index[col], term, i)
+		}
+		if i != last {
+			for col, term := range r.tuples[last] {
+				renameOffset(r.index[col][term], last, i)
+			}
+		}
+	}
+	if i != last {
+		moved := r.tuples[last]
+		r.tuples[i] = moved
+		r.keys[moved.Key()] = i
+	}
+	r.tuples[last] = nil
+	r.tuples = r.tuples[:last]
+	delete(r.keys, k)
+	return true
+}
+
+// dropOffset removes one occurrence of off from the posting list of term,
+// deleting the map entry when the list empties (posting order is not
+// significant; Lookup callers treat offsets as a set).
+func dropOffset(m map[logic.Term][]int, term logic.Term, off int) {
+	offs := m[term]
+	for j, o := range offs {
+		if o == off {
+			offs[j] = offs[len(offs)-1]
+			offs = offs[:len(offs)-1]
+			if len(offs) == 0 {
+				delete(m, term)
+			} else {
+				m[term] = offs
+			}
+			return
+		}
+	}
+}
+
+// renameOffset rewrites the posting entry from -> to in place.
+func renameOffset(offs []int, from, to int) {
+	for j, o := range offs {
+		if o == from {
+			offs[j] = to
+			return
+		}
+	}
 }
 
 // Contains reports whether the tuple is present.
@@ -145,14 +209,32 @@ func (r *Relation) Lookup(col int, term logic.Term) []int {
 
 // Instance is a database instance: a collection of relations keyed by
 // predicate name.
+//
+// Instances produced by ExtendClone share relations with their parent
+// copy-on-write: a shared relation is copied the first time the clone
+// mutates it, so the parent (typically a published snapshot concurrently
+// read by evaluators) is never written through. A monotonic mutation
+// counter records every successful insert and removal; callers use it to
+// detect out-of-band mutation where a size comparison would be fooled by
+// balanced insert/delete pairs.
 type Instance struct {
 	rels map[string]*Relation
+	// shared marks relations aliased with the ExtendClone parent; nil on
+	// ordinary instances. Mutators copy a shared relation before touching it.
+	shared map[string]bool
+	// muts counts successful inserts and removals, monotonic. Atomic so that
+	// staleness checks can read it without excluding writers.
+	muts atomic.Uint64
 }
 
 // NewInstance returns an empty instance.
 func NewInstance() *Instance {
 	return &Instance{rels: make(map[string]*Relation)}
 }
+
+// Mutations returns the monotonic count of successful inserts and removals.
+// Safe to read concurrently with writers.
+func (ins *Instance) Mutations() uint64 { return ins.muts.Load() }
 
 // FromAtoms builds an instance from ground atoms, returning an error on any
 // non-ground atom or arity conflict.
@@ -200,7 +282,46 @@ func (ins *Instance) Insert(a logic.Atom) (bool, error) {
 		return false, fmt.Errorf("storage: predicate %s used with arity %d and %d",
 			a.Pred, rel.Arity(), a.Arity())
 	}
-	return rel.Insert(Tuple(a.Args)), nil
+	if ins.shared[a.Pred] {
+		if rel.Contains(Tuple(a.Args)) {
+			return false, nil // dedup against the shared relation without copying
+		}
+		rel = ins.own(a.Pred)
+	}
+	added := rel.Insert(Tuple(a.Args))
+	if added {
+		ins.muts.Add(1)
+	}
+	return added, nil
+}
+
+// Remove deletes a ground atom, reporting whether it was present. Removing
+// an absent atom (or one whose predicate has a different arity) is a no-op.
+func (ins *Instance) Remove(a logic.Atom) bool {
+	rel := ins.rels[a.Pred]
+	if rel == nil || rel.Arity() != a.Arity() {
+		return false
+	}
+	if ins.shared[a.Pred] {
+		if !rel.Contains(Tuple(a.Args)) {
+			return false
+		}
+		rel = ins.own(a.Pred)
+	}
+	removed := rel.Remove(Tuple(a.Args))
+	if removed {
+		ins.muts.Add(1)
+	}
+	return removed
+}
+
+// own replaces the shared relation for pred with a private copy and returns
+// it. Requires ins.shared[pred].
+func (ins *Instance) own(pred string) *Relation {
+	rel := ins.rels[pred].Clone()
+	ins.rels[pred] = rel
+	delete(ins.shared, pred)
+	return rel
 }
 
 // ContainsAtom reports whether the ground atom is in the instance.
@@ -250,12 +371,14 @@ func (ins *Instance) EnsureIndexes() {
 	}
 }
 
-// Clone copies the relation without re-hashing: the tuple slice and key map
-// are copied wholesale, and already-built per-column indexes are carried
-// over (deep-copied, since Insert appends to index posting lists in place).
-// Tuple values themselves are shared — they are immutable by contract.
-// Single-writer: Clone must not race with concurrent index builds on r.
+// Clone copies the relation without re-hashing: the tuple slice, key map and
+// per-column indexes are copied wholesale. Tuple values themselves are
+// shared — they are immutable by contract. The index is built first through
+// EnsureIndex, which both carries it into the copy and synchronizes with any
+// concurrent lazy build by readers: Clone is safe to call while other
+// goroutines read r.
 func (r *Relation) Clone() *Relation {
+	r.EnsureIndex()
 	nr := &Relation{name: r.name, arity: r.arity}
 	nr.tuples = make([]Tuple, len(r.tuples))
 	copy(nr.tuples, r.tuples)
@@ -263,30 +386,52 @@ func (r *Relation) Clone() *Relation {
 	for k, v := range r.keys {
 		nr.keys[k] = v
 	}
-	if r.index != nil {
-		index := make([]map[logic.Term][]int, r.arity)
-		for col, m := range r.index {
-			nm := make(map[logic.Term][]int, len(m))
-			for t, offs := range m {
-				no := make([]int, len(offs))
-				copy(no, offs)
-				nm[t] = no
-			}
-			index[col] = nm
+	index := make([]map[logic.Term][]int, r.arity)
+	for col, m := range r.index {
+		nm := make(map[logic.Term][]int, len(m))
+		for t, offs := range m {
+			no := make([]int, len(offs))
+			copy(no, offs)
+			nm[t] = no
 		}
-		nr.index = index
+		index[col] = nm
 	}
+	nr.index = index
+	nr.indexOnce.Do(func() {})
 	return nr
 }
 
 // Clone deep-copies the instance cheaply: per-relation wholesale copies of
 // tuples, key maps and built indexes (see Relation.Clone), making snapshots
-// of a chased instance a copy, not a rebuild.
+// of a chased instance a copy, not a rebuild. Safe while other goroutines
+// read ins; must not race with writers.
 func (ins *Instance) Clone() *Instance {
 	out := NewInstance()
 	for p, r := range ins.rels {
 		out.rels[p] = r.Clone()
 	}
+	out.muts.Store(ins.muts.Load())
+	return out
+}
+
+// ExtendClone returns a copy-on-write snapshot of the instance: every
+// relation is shared with the receiver until the clone first mutates it,
+// at which point just that relation is copied. A writer extending a
+// published snapshot therefore pays copy cost proportional to the relations
+// its delta touches, not to the whole instance, while readers of the parent
+// keep an immutable view. The parent must not be mutated afterwards (the
+// Ontology enforces this by always publishing the clone and retiring the
+// parent).
+func (ins *Instance) ExtendClone() *Instance {
+	out := &Instance{
+		rels:   make(map[string]*Relation, len(ins.rels)),
+		shared: make(map[string]bool, len(ins.rels)),
+	}
+	for p, r := range ins.rels {
+		out.rels[p] = r
+		out.shared[p] = true
+	}
+	out.muts.Store(ins.muts.Load())
 	return out
 }
 

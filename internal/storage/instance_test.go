@@ -164,14 +164,145 @@ func TestClonePreservesIndexes(t *testing.T) {
 	}
 }
 
-func TestCloneWithoutIndexesStaysLazy(t *testing.T) {
+func TestRelationRemoveMaintainsIndex(t *testing.T) {
+	ins := MustFromAtoms([]logic.Atom{
+		logic.NewAtom("p", c("a"), c("b")),
+		logic.NewAtom("p", c("a"), c("c")),
+		logic.NewAtom("p", c("d"), c("b")),
+		logic.NewAtom("p", c("e"), c("e")),
+	})
+	ins.EnsureIndexes()
+	r := ins.Relation("p")
+	if !ins.Remove(logic.NewAtom("p", c("a"), c("b"))) {
+		t.Fatal("remove of a present tuple must report true")
+	}
+	if ins.Remove(logic.NewAtom("p", c("a"), c("b"))) {
+		t.Fatal("second remove must be a no-op")
+	}
+	if r.Len() != 3 || r.Contains(Tuple{c("a"), c("b")}) {
+		t.Fatalf("len=%d after remove", r.Len())
+	}
+	// The index must agree with a fresh scan after the swap-removal: every
+	// surviving tuple reachable at its new offset, nothing dangling.
+	for _, col := range []int{0, 1} {
+		for _, tup := range r.Tuples() {
+			found := false
+			for _, off := range r.Lookup(col, tup[col]) {
+				if off < 0 || off >= r.Len() {
+					t.Fatalf("dangling offset %d in Lookup(%d,%v)", off, col, tup[col])
+				}
+				if r.Tuples()[off][col] == tup[col] {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("tuple %v unreachable via Lookup(%d,%v)", tup, col, tup[col])
+			}
+		}
+	}
+	if got := r.Lookup(0, c("a")); len(got) != 1 {
+		t.Errorf("Lookup(0,a) = %v, want 1 offset", got)
+	}
+	if got := r.Lookup(1, c("b")); len(got) != 1 {
+		t.Errorf("Lookup(1,b) = %v, want 1 offset", got)
+	}
+	// Removing a tuple with a repeated term exercises per-column postings.
+	if !ins.Remove(logic.NewAtom("p", c("e"), c("e"))) {
+		t.Fatal("remove e,e")
+	}
+	if got := r.Lookup(0, c("e")); len(got) != 0 {
+		t.Errorf("Lookup(0,e) = %v, want empty", got)
+	}
+}
+
+func TestInstanceMutationsCounter(t *testing.T) {
+	ins := NewInstance()
+	if ins.Mutations() != 0 {
+		t.Fatal("fresh instance must have 0 mutations")
+	}
+	ins.InsertAtom(logic.NewAtom("p", c("a")))
+	ins.InsertAtom(logic.NewAtom("p", c("a"))) // duplicate: no mutation
+	ins.InsertAtom(logic.NewAtom("p", c("b")))
+	if ins.Mutations() != 2 {
+		t.Fatalf("Mutations = %d, want 2", ins.Mutations())
+	}
+	ins.Remove(logic.NewAtom("p", c("b")))
+	ins.Remove(logic.NewAtom("p", c("b"))) // absent: no mutation
+	if ins.Mutations() != 3 {
+		t.Fatalf("Mutations = %d, want 3", ins.Mutations())
+	}
+	// A balanced insert+delete pair keeps Size but must move the counter —
+	// this is exactly the staleness mask the counter exists to defeat.
+	size, muts := ins.Size(), ins.Mutations()
+	ins.InsertAtom(logic.NewAtom("p", c("x")))
+	ins.Remove(logic.NewAtom("p", c("x")))
+	if ins.Size() != size || ins.Mutations() == muts {
+		t.Errorf("size %d->%d muts %d->%d, want same size with moved counter",
+			size, ins.Size(), muts, ins.Mutations())
+	}
+}
+
+func TestExtendCloneCopyOnWrite(t *testing.T) {
+	parent := MustFromAtoms([]logic.Atom{
+		logic.NewAtom("p", c("a")),
+		logic.NewAtom("q", c("b"), c("c")),
+	})
+	parent.EnsureIndexes()
+	cl := parent.ExtendClone()
+	// Untouched relations are aliased, not copied.
+	if cl.Relation("q") != parent.Relation("q") {
+		t.Fatal("ExtendClone must alias untouched relations")
+	}
+	// Duplicate insert into a shared relation must not trigger a copy.
+	if added, err := cl.Insert(logic.NewAtom("p", c("a"))); added || err != nil {
+		t.Fatalf("dup insert: added=%v err=%v", added, err)
+	}
+	if cl.Relation("p") != parent.Relation("p") {
+		t.Fatal("duplicate insert must not copy the shared relation")
+	}
+	// A genuine insert copies just that relation.
+	if added, _ := cl.Insert(logic.NewAtom("p", c("z"))); !added {
+		t.Fatal("insert z")
+	}
+	if cl.Relation("p") == parent.Relation("p") {
+		t.Fatal("mutating insert must copy the shared relation")
+	}
+	if cl.Relation("q") != parent.Relation("q") {
+		t.Fatal("q must stay aliased")
+	}
+	if parent.Relation("p").Contains(Tuple{c("z")}) {
+		t.Fatal("parent must not see the clone's insert")
+	}
+	// Removals copy-on-write the same way.
+	cl2 := parent.ExtendClone()
+	if cl2.Remove(logic.NewAtom("q", c("x"), c("y"))) {
+		t.Fatal("absent removal must report false")
+	}
+	if cl2.Relation("q") != parent.Relation("q") {
+		t.Fatal("absent removal must not copy")
+	}
+	if !cl2.Remove(logic.NewAtom("q", c("b"), c("c"))) {
+		t.Fatal("remove b,c")
+	}
+	if !parent.Relation("q").Contains(Tuple{c("b"), c("c")}) {
+		t.Fatal("parent must not see the clone's removal")
+	}
+	if cl2.Size() != parent.Size()-1 {
+		t.Errorf("sizes: clone %d parent %d", cl2.Size(), parent.Size())
+	}
+}
+
+func TestCloneBuildsIndexForRaceSafety(t *testing.T) {
+	// Clone synchronizes with concurrent lazy index builds by building the
+	// index itself (EnsureIndex) before copying it: the clone of an
+	// unindexed relation therefore arrives indexed, and so does the source.
 	ins := MustFromAtoms([]logic.Atom{logic.NewAtom("p", c("a"))})
 	cl := ins.Clone()
-	if cl.Relation("p").index != nil {
-		t.Fatal("Clone of an unindexed relation must stay unindexed")
+	if cl.Relation("p").index == nil || ins.Relation("p").index == nil {
+		t.Fatal("Clone must leave both source and copy indexed")
 	}
 	if got := cl.Relation("p").Lookup(0, c("a")); len(got) != 1 {
-		t.Errorf("lazy build after Clone: Lookup = %v", got)
+		t.Errorf("Lookup after Clone = %v", got)
 	}
 	if !cl.Relation("p").Contains(Tuple{c("a")}) {
 		t.Error("cloned key map must answer Contains")

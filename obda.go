@@ -33,6 +33,7 @@ package repro
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/chase"
 	"repro/internal/core"
@@ -49,11 +50,20 @@ import (
 // Ontology is a set of TGDs together with a database instance.
 //
 // An Ontology is safe for concurrent use: any number of goroutines may call
-// Answer*/Classify/Chase concurrently, and AddFact may run alongside them.
-// Chase-mode answering is served from a cached materialization maintained
-// incrementally — AddFact chases only the newly inserted facts as a delta
-// against the cached instance instead of re-running the fixpoint (see
-// MaterializationStats for the counters).
+// Answer*/Classify/Chase concurrently, and AddFact/DeleteFact/LoadCSV may
+// run alongside them. Reads over a published snapshot are lock-free: the
+// answering paths evaluate an immutable instance loaded through an atomic
+// pointer, so a slow query neither blocks nor queues behind concurrent
+// writers. Only a cache miss — the first chase-mode answer, or one after an
+// out-of-band Data() mutation or a budget raise — builds under the writer
+// lock, single-flight and serialized with mutators; once published, the
+// snapshot serves every reader until the next write.
+// Writers extend a copy-on-write clone of the current snapshot and publish
+// it when complete; chase-mode maintenance is incremental in both
+// directions: AddFact chases only the newly inserted facts as a delta, and
+// DeleteFact repairs the materialization DRed-style (over-delete the
+// derived closure, re-derive survivors) instead of re-running the fixpoint
+// (see MaterializationStats for the counters).
 type Ontology struct {
 	rules *dependency.Set
 	data  *storage.Instance
@@ -61,51 +71,80 @@ type Ontology struct {
 	classOnce      sync.Once
 	classification *core.Report // computed once, on first use
 
-	// mu guards data, mat and epoch. Readers (chase-mode Answer) evaluate
-	// under the read lock over the frozen cached instance; AddFact extends
-	// both under the write lock, so readers always see a complete epoch,
-	// never a half-merged round.
-	mu  sync.RWMutex
-	mat *materialization
+	// mu guards structural access to the canonical base instance o.data:
+	// writers hold it exclusively while inserting or removing, snapshot
+	// builders hold it shared while cloning. No code path holds it during
+	// query evaluation (asserted by TestAnswersDoNotBlockBehindWriters).
+	mu sync.RWMutex
+	// wmu serializes snapshot publishers — AddFact/DeleteFact/LoadCSV,
+	// cold materialization builds and base-snapshot rebuilds — so the
+	// chase engine state is single-writer and cold builds single-flight.
+	// Always acquired before mu; never held while evaluating a published
+	// snapshot.
+	wmu sync.Mutex
+
+	// mat is the published chase materialization: an immutable instance plus
+	// frozen counters. Readers load it once and evaluate with no lock held;
+	// writers publish a copy-on-write extension (never mutate a published
+	// instance) under wmu.
+	mat atomic.Pointer[materialization]
+	// base is the published snapshot of the base data that rewrite-mode
+	// evaluation reads, maintained by writers the same copy-on-write way.
+	base atomic.Pointer[baseSnapshot]
 	// epoch counts completed materialization builds and extensions,
 	// monotonic across cache drops and rebuilds.
-	epoch uint64
-	// buildMu single-flights materialization (re)builds: concurrent
-	// cold-start readers queue here instead of each chasing a private
-	// clone. Always acquired before mu, never while holding it.
-	buildMu sync.Mutex
+	epoch atomic.Uint64
+	// wantProv turns on derivation-provenance recording for future
+	// materialization builds. It is set (sticky) by the first DeleteFact, so
+	// ontologies that never delete pay nothing for the graph; the first
+	// deletion pays one rebuild, after which repairs are incremental.
+	wantProv atomic.Bool
 }
 
-// materialization is the cached chase expansion plus the resumable engine
-// state (null generators, semi-oblivious memory, counters) that maintains it
-// across AddFact deltas.
+// materialization is the published chase expansion plus the resumable engine
+// state (null generators, semi-oblivious memory, provenance, counters) that
+// maintains it across AddFact/DeleteFact deltas. The instance and the
+// counter fields are immutable once published; state is only ever touched by
+// writers serialized under Ontology.wmu.
 type materialization struct {
 	ins   *storage.Instance
 	state *chase.State
-	// terminated mirrors the last Resume's fixpoint flag; a truncated cache
-	// is only served to callers whose budgets cannot do better.
+	// terminated mirrors the last increment's fixpoint flag; a truncated
+	// cache is only served to callers whose budgets cannot do better.
 	terminated bool
-	// baseSize is o.data.Size() when the cache was last built/extended; a
-	// mismatch means the base data was mutated out-of-band (via Data()), so
-	// the cache must be rebuilt rather than served stale.
-	baseSize int
-	// lastSteps/lastRounds describe the most recent build or extension.
+	// baseMut is o.data.Mutations() when the cache was last built or
+	// extended; a mismatch means the base data was mutated out-of-band (via
+	// Data()), so the cache must be rebuilt rather than served stale. A
+	// counter, not a size: balanced insert/delete pairs move it.
+	baseMut uint64
+	// steps/rounds/nulls freeze the engine's cumulative counters at publish
+	// time so readers never touch the writer-owned state.
+	steps, rounds, nulls int
+	// lastSteps/lastRounds describe the most recent build or increment.
 	lastSteps, lastRounds int
 }
 
-// usable reports whether the cache can serve a request with the given
-// (defaulted) budgets against the current base data: the data must not have
-// been mutated out-of-band, and a truncated cache only serves requests whose
-// budgets are no larger than the ones it was built with (a larger budget
-// could derive more). A terminated fixpoint serves any budget.
-func (m *materialization) usable(copts chase.Options, dataSize int) bool {
-	if m.baseSize != dataSize {
+// baseSnapshot is the published immutable view of the base data serving
+// rewrite-mode evaluation, tagged with the mutation count it reflects.
+type baseSnapshot struct {
+	ins     *storage.Instance
+	baseMut uint64
+}
+
+// usable reports whether the published cache can serve a request with the
+// given (defaulted) budgets against the current base data: the data must not
+// have been mutated since the cache last saw it, and a truncated cache only
+// serves requests whose budgets are no larger than the ones it was built
+// with (a larger budget could derive more). A terminated fixpoint serves any
+// budget.
+func (m *materialization) usable(copts chase.Options, dataMut uint64) bool {
+	if m.baseMut != dataMut {
 		return false
 	}
 	if m.terminated {
 		return true
 	}
-	built := m.state.Options()
+	built := m.state.Options() // immutable after NewState; safe for readers
 	return copts.MaxSteps <= built.MaxSteps && copts.MaxRounds <= built.MaxRounds
 }
 
@@ -180,93 +219,247 @@ func ParseFiles(rulesPath string, dataPaths ...string) (*Ontology, error) {
 // Rules returns the ontology's TGD set.
 func (o *Ontology) Rules() *dependency.Set { return o.rules }
 
-// Data returns the ontology's database instance. Treat it as read-only:
-// mutate the ontology through AddFact/LoadCSV, which lock and maintain the
-// cached materialization incrementally. Out-of-band inserts are detected by
-// a size check and force a full rebuild on the next chase-mode answer — and
-// they race with concurrent Answer/AddFact calls.
+// Data returns the ontology's canonical database instance. Treat it as
+// read-only: mutate the ontology through AddFact/DeleteFact/LoadCSV, which
+// maintain the published snapshots incrementally. Out-of-band mutations are
+// detected through the instance's monotonic mutation counter (so even
+// balanced insert/delete pairs are caught) and force a full rebuild on the
+// next answer — but they race with concurrent Answer and mutator calls.
 func (o *Ontology) Data() *storage.Instance { return o.data }
 
 // AddFact inserts ground facts, parsed from text like `person(alice) .`.
-// When a chase materialization is cached, it is maintained incrementally:
-// only the genuinely new facts are chased as a delta against the cached
-// instance (restricted-chase head checks run against the full cache), so the
-// cost is proportional to the consequences of the insertion, not to the
-// instance. Classification is unaffected (it depends on rules only).
+// The batch is staged and validated in full before the ontology is touched,
+// so AddFact is all-or-nothing: a rejected batch leaves data and snapshots
+// unchanged. When a chase materialization is published, it is maintained
+// incrementally: only the genuinely new facts are chased as a delta against
+// a copy-on-write extension of the published instance (restricted-chase
+// head checks run against the full cache), so the cost is proportional to
+// the consequences of the insertion, not to the instance, and concurrent
+// readers keep evaluating over the previous snapshot meanwhile.
+// Classification is unaffected (it depends on rules only).
 func (o *Ontology) AddFact(src string) error {
 	facts, err := parser.ParseFacts(src)
 	if err != nil {
 		return err
 	}
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	o.dropStaleSnapshots()
+	staged, err := o.stageFacts(facts)
+	if err != nil {
+		return err
+	}
+	added, mut, err := o.commitInserts(staged)
+	if err != nil {
+		return err
+	}
+	o.updateBaseSnapshot(added, nil, mut)
+	return o.extendMaterialization(added, mut)
+}
+
+// DeleteFact removes ground base facts, parsed like AddFact's input, and
+// reports how many were actually present (absent facts are no-ops). The
+// published materialization is repaired DRed-style instead of discarded:
+// the derived closure of the removed facts is over-deleted via the chase's
+// recorded provenance, then survivors are re-derived against the remaining
+// instance — work proportional to the consequences of the deletion, not to
+// the instance (see chase.DeleteResult). A fact that is also derivable from
+// the surviving base stays in the expansion, exactly as a from-scratch
+// chase would keep it. Concurrent readers keep the previous snapshot until
+// the repaired one is published.
+func (o *Ontology) DeleteFact(src string) (int, error) {
+	facts, err := parser.ParseFacts(src)
+	if err != nil {
+		return 0, err
+	}
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	o.dropStaleSnapshots()
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.dropStaleMaterializationLocked()
-	// Validate arities for the whole batch up front — against the cached
-	// expansion (a superset of the base data) when one exists — so the
-	// insert loop below cannot fail midway: AddFact is all-or-nothing and a
-	// rejected batch leaves data and cache untouched.
-	arities := make(map[string]int)
+	var removed []logic.Atom
 	for _, f := range facts {
-		want, ok := arities[f.Pred]
-		if !ok {
-			want = f.Arity()
-			if m := o.mat; m != nil {
-				if rel := m.ins.Relation(f.Pred); rel != nil {
-					want = rel.Arity()
-				}
-			} else if rel := o.data.Relation(f.Pred); rel != nil {
+		// Remove is idempotent: a duplicated fact in the batch removes once.
+		if o.data.Remove(f) {
+			removed = append(removed, f)
+		}
+	}
+	mut := o.data.Mutations()
+	o.mu.Unlock()
+	if len(removed) == 0 {
+		return 0, nil
+	}
+	o.updateBaseSnapshot(nil, removed, mut)
+	o.wantProv.Store(true) // future builds record the graph for repairs
+	m := o.mat.Load()
+	if m == nil {
+		return len(removed), nil
+	}
+	if !m.terminated || !m.state.TracksProvenance() {
+		// A truncated cache cannot be repaired (triggers were dropped), and
+		// one built without provenance — every cache predating the first
+		// DeleteFact — has nothing to walk; rebuild lazily. Only this first
+		// deletion pays the rebuild: wantProv is sticky.
+		o.mat.Store(nil)
+		return len(removed), nil
+	}
+	ins := m.ins.ExtendClone()
+	dres, err := m.state.Delete(o.rules, ins, removed, o.data)
+	if err != nil {
+		o.mat.Store(nil) // the base removal stands; the next answer rebuilds
+		return len(removed), nil
+	}
+	o.publishMat(ins, m.state, dres.Result.Terminated, mut, dres.Result.Steps, dres.Result.Rounds)
+	return len(removed), nil
+}
+
+// dropStaleSnapshots discards published snapshots whose recorded mutation
+// count no longer matches the base data — i.e. the data was mutated
+// out-of-band via Data() since they were built. Mutators must call it
+// BEFORE touching the data: extending a stale snapshot would re-align the
+// counter and permanently mask the staleness, serving wrong answers.
+// Requires o.wmu.
+func (o *Ontology) dropStaleSnapshots() {
+	mut := o.data.Mutations()
+	if m := o.mat.Load(); m != nil && m.baseMut != mut {
+		o.mat.Store(nil)
+	}
+	if s := o.base.Load(); s != nil && s.baseMut != mut {
+		o.base.Store(nil)
+	}
+}
+
+// stageFacts validates an AddFact batch against the published expansion (a
+// superset of the base data) when one exists, staging it into a private
+// instance so intra-batch arity conflicts also surface — all before the
+// ontology is touched. Returns the staged batch deduplicated. Requires
+// o.wmu.
+func (o *Ontology) stageFacts(facts []logic.Atom) ([]logic.Atom, error) {
+	staged := storage.NewInstance()
+	m := o.mat.Load()
+	for _, f := range facts {
+		want := f.Arity()
+		if m != nil {
+			if rel := m.ins.Relation(f.Pred); rel != nil {
 				want = rel.Arity()
 			}
-			arities[f.Pred] = want
+		} else if rel := o.data.Relation(f.Pred); rel != nil {
+			want = rel.Arity()
 		}
 		if f.Arity() != want {
-			return fmt.Errorf("repro: predicate %s used with arity %d and %d", f.Pred, want, f.Arity())
+			return nil, fmt.Errorf("repro: predicate %s used with arity %d and %d", f.Pred, want, f.Arity())
+		}
+		if _, err := staged.Insert(f); err != nil {
+			return nil, err // intra-batch arity conflict
 		}
 	}
-	for _, f := range facts {
-		if err := o.data.InsertAtom(f); err != nil {
-			o.mat = nil // unreachable after validation; defensive
-			return err
+	return staged.Atoms(), nil
+}
+
+// commitInserts applies a staged (pre-validated) batch to the canonical base
+// data under the write lock, returning the genuinely new facts and the
+// resulting mutation count. An insert failure — unreachable after staging —
+// rolls the batch back so the all-or-nothing contract survives even a
+// validation bug. Requires o.wmu.
+func (o *Ontology) commitInserts(atoms []logic.Atom) (added []logic.Atom, mut uint64, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, a := range atoms {
+		isNew, err := o.data.Insert(a)
+		if err != nil {
+			for _, b := range added {
+				o.data.Remove(b)
+			}
+			return nil, 0, err
+		}
+		if isNew {
+			added = append(added, a)
 		}
 	}
-	return o.extendMaterializationLocked(facts)
+	return added, o.data.Mutations(), nil
 }
 
-// dropStaleMaterializationLocked discards the cache when the base data was
-// mutated out-of-band (via Data()) since the cache last saw it. Mutators
-// must call it BEFORE inserting: extending a stale cache would re-align
-// baseSize and permanently mask the staleness, serving wrong answers.
-// Requires o.mu held for writing.
-func (o *Ontology) dropStaleMaterializationLocked() {
-	if m := o.mat; m != nil && m.baseSize != o.data.Size() {
-		o.mat = nil
+// updateBaseSnapshot folds a writer's delta into the published base
+// snapshot, if one exists, via copy-on-write — rewrite-mode readers of the
+// previous snapshot are undisturbed. Requires o.wmu.
+func (o *Ontology) updateBaseSnapshot(added, removed []logic.Atom, mut uint64) {
+	s := o.base.Load()
+	if s == nil || (len(added) == 0 && len(removed) == 0) {
+		return
 	}
+	ins := s.ins.ExtendClone()
+	for _, a := range added {
+		if _, err := ins.Insert(a); err != nil {
+			o.base.Store(nil) // unreachable after staging; rebuild lazily
+			return
+		}
+	}
+	for _, a := range removed {
+		ins.Remove(a)
+	}
+	o.base.Store(&baseSnapshot{ins: ins, baseMut: mut})
 }
 
-// extendMaterializationLocked folds newly inserted base facts into the
-// cached materialization by resuming the chase with just those facts as the
-// delta (chase.State.Extend). Requires o.mu held for writing. A truncated
-// cache cannot be extended soundly (triggers were dropped), so it is
-// discarded instead.
-func (o *Ontology) extendMaterializationLocked(facts []logic.Atom) error {
-	m := o.mat
+// extendMaterialization folds newly inserted base facts into the published
+// materialization by resuming the chase with just those facts as the delta
+// (chase.State.Extend) over a copy-on-write extension of the published
+// instance, then publishes the result. A truncated cache cannot be extended
+// soundly (triggers were dropped), so it is discarded instead. Requires
+// o.wmu.
+func (o *Ontology) extendMaterialization(added []logic.Atom, mut uint64) error {
+	m := o.mat.Load()
 	if m == nil {
 		return nil
 	}
 	if !m.terminated {
-		o.mat = nil
+		o.mat.Store(nil)
 		return nil
 	}
-	res, err := m.state.Extend(o.rules, m.ins, facts)
+	ins := m.ins.ExtendClone()
+	res, err := m.state.Extend(o.rules, ins, added)
 	if err != nil {
-		o.mat = nil
+		o.mat.Store(nil)
 		return err
 	}
-	o.epoch++
-	m.terminated = res.Terminated
-	m.baseSize = o.data.Size()
-	m.lastSteps, m.lastRounds = res.Steps, res.Rounds
+	o.publishMat(ins, m.state, res.Terminated, mut, res.Steps, res.Rounds)
 	return nil
+}
+
+// publishMat freezes the engine counters into an immutable materialization
+// and publishes it, bumping the epoch. Requires o.wmu.
+func (o *Ontology) publishMat(ins *storage.Instance, st *chase.State, terminated bool, baseMut uint64, lastSteps, lastRounds int) {
+	o.epoch.Add(1)
+	o.mat.Store(&materialization{
+		ins:        ins,
+		state:      st,
+		terminated: terminated,
+		baseMut:    baseMut,
+		steps:      st.TotalSteps(),
+		rounds:     st.TotalRounds(),
+		nulls:      st.TotalNulls(),
+		lastSteps:  lastSteps,
+		lastRounds: lastRounds,
+	})
+}
+
+// snapshotBase returns the published immutable base snapshot, building it
+// from the canonical data on first use or after out-of-band mutation.
+// Evaluators read the result with no lock held; writers keep it current
+// copy-on-write (updateBaseSnapshot).
+func (o *Ontology) snapshotBase() *storage.Instance {
+	if s := o.base.Load(); s != nil && s.baseMut == o.data.Mutations() {
+		return s.ins
+	}
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	if s := o.base.Load(); s != nil && s.baseMut == o.data.Mutations() {
+		return s.ins // rebuilt while we queued
+	}
+	o.mu.RLock()
+	ins := o.data.Clone()
+	mut := o.data.Mutations()
+	o.mu.RUnlock()
+	o.base.Store(&baseSnapshot{ins: ins, baseMut: mut})
+	return ins
 }
 
 // Classify runs every class test of the paper's landscape (simple, Linear,
@@ -430,9 +623,10 @@ func (o *Ontology) AnswerOptions(querySrc string, opts Options) (*Answers, error
 			}
 			return nil, fmt.Errorf("repro: rewriting did not reach a fixpoint (budget hit); use ModeChase")
 		}
-		o.mu.RLock()
-		defer o.mu.RUnlock()
-		return eval.UCQ(rw.UCQ, o.data, evalOpts), nil
+		// Evaluate over the published base snapshot with no lock held: a
+		// slow evaluation neither blocks writers nor queues other readers
+		// behind them.
+		return eval.UCQ(rw.UCQ, o.snapshotBase(), evalOpts), nil
 	case ModeChase:
 		return o.answerChase(q, opts, evalOpts)
 	default:
@@ -440,80 +634,68 @@ func (o *Ontology) AnswerOptions(querySrc string, opts Options) (*Answers, error
 	}
 }
 
-// answerChase evaluates q over the cached materialization, building or
+// answerChase evaluates q over the published materialization, building or
 // rebuilding it when absent or unusable for the requested budgets. The fast
-// path holds only the read lock: concurrent readers evaluate over the frozen
-// instance while AddFact waits for the write lock. Rebuilds chase a private
-// snapshot off-lock so concurrent rewrite-mode readers and cache hits are
-// not stalled behind a long materialization; the result is installed only if
-// the base data did not change meanwhile (bounded retries, then a final
-// attempt under the write lock so a hostile writer stream cannot starve us).
+// path is lock-free: the published pointer is loaded once and the query
+// evaluates over the immutable instance, so a slow evaluation neither
+// blocks writers nor queues other readers behind them. Builds run under wmu
+// (single-flight, serialized with writers — so the base cannot change
+// underneath) and always serve their own result, so a build is never wasted
+// and nothing can starve.
 func (o *Ontology) answerChase(q *query.CQ, opts Options, evalOpts eval.Options) (*Answers, error) {
 	copts := opts.chaseOptions()
 	u := query.MustNewUCQ(q)
 
-	for attempt := 0; ; attempt++ {
-		o.mu.RLock()
-		if m := o.mat; m != nil && m.usable(copts, o.data.Size()) {
-			defer o.mu.RUnlock()
-			if !m.terminated {
-				return nil, fmt.Errorf("repro: chase did not terminate within budget (last run: %d steps); raise Options.MaxSteps/MaxRounds", m.lastSteps)
-			}
-			return eval.UCQ(u, m.ins, evalOpts), nil
-		}
-		o.mu.RUnlock()
-
-		o.buildMu.Lock()
-		o.mu.Lock()
-		if m := o.mat; m != nil && m.usable(copts, o.data.Size()) {
-			o.mu.Unlock()
-			o.buildMu.Unlock()
-			continue // built while we queued; serve from the fast path
-		}
-		ins := o.data.Clone()
-		snapSize := o.data.Size()
-		if attempt < 3 {
-			o.mu.Unlock()
-		}
-		st := chase.NewState(copts)
-		res := st.Resume(o.rules, ins, ins)
-		if attempt < 3 {
-			o.mu.Lock()
-		}
-		// Install unless the data changed while we chased off-lock, or a
-		// fresh fixpoint (e.g. donated by AnswerApprox, which does not take
-		// buildMu) appeared meanwhile — never clobber a terminated cache
-		// with a truncated build.
-		if o.data.Size() == snapSize &&
-			(o.mat == nil || !o.mat.terminated || o.mat.baseSize != snapSize) {
-			o.epoch++
-			o.mat = &materialization{
-				ins:        ins,
-				state:      st,
-				terminated: res.Terminated,
-				baseSize:   snapSize,
-				lastSteps:  res.Steps,
-				lastRounds: res.Rounds,
-			}
-		}
-		if attempt >= 3 {
-			// Final locked attempt: serve our own build directly instead of
-			// looping — a writer stream that keeps extending (or dropping a
-			// truncated cache) between iterations cannot starve us.
-			var ans *Answers
-			var err error
-			if res.Terminated {
-				ans = eval.UCQ(u, ins, evalOpts)
-			} else {
-				err = fmt.Errorf("repro: chase did not terminate within budget (last run: %d steps); raise Options.MaxSteps/MaxRounds", res.Steps)
-			}
-			o.mu.Unlock()
-			o.buildMu.Unlock()
-			return ans, err
-		}
-		o.mu.Unlock()
-		o.buildMu.Unlock()
+	if ans, err, ok := o.answerFromMat(u, copts, evalOpts); ok {
+		return ans, err
 	}
+
+	o.wmu.Lock()
+	if m := o.mat.Load(); m != nil && m.usable(copts, o.data.Mutations()) {
+		// Built while we queued; evaluate after releasing the lock.
+		o.wmu.Unlock()
+		if !m.terminated {
+			return nil, budgetErr(m.lastSteps)
+		}
+		return eval.UCQ(u, m.ins, evalOpts), nil
+	}
+	o.mu.RLock()
+	ins := o.data.Clone()
+	snapMut := o.data.Mutations()
+	o.mu.RUnlock()
+	// Record provenance only once a DeleteFact has shown it is needed.
+	copts.TrackProvenance = o.wantProv.Load()
+	st := chase.NewState(copts)
+	res := st.Resume(o.rules, ins, ins)
+	// Publish unless the data was mutated out-of-band while we chased (a
+	// legitimate writer cannot have: we hold wmu). Either way, serve our own
+	// build — it is a valid chase of the data as of the clone.
+	if o.data.Mutations() == snapMut {
+		o.publishMat(ins, st, res.Terminated, snapMut, res.Steps, res.Rounds)
+	}
+	o.wmu.Unlock()
+	if !res.Terminated {
+		return nil, budgetErr(res.Steps)
+	}
+	return eval.UCQ(u, ins, evalOpts), nil
+}
+
+// answerFromMat serves the query from the published materialization when it
+// is usable for these budgets; evaluation runs with no lock held. The third
+// return value reports whether the cache could serve the request at all.
+func (o *Ontology) answerFromMat(u *query.UCQ, copts chase.Options, evalOpts eval.Options) (*Answers, error, bool) {
+	m := o.mat.Load()
+	if m == nil || !m.usable(copts, o.data.Mutations()) {
+		return nil, nil, false
+	}
+	if !m.terminated {
+		return nil, budgetErr(m.lastSteps), true
+	}
+	return eval.UCQ(u, m.ins, evalOpts), nil, true
+}
+
+func budgetErr(steps int) error {
+	return fmt.Errorf("repro: chase did not terminate within budget (last run: %d steps); raise Options.MaxSteps/MaxRounds", steps)
 }
 
 // MaterializationStats describes the cached chase expansion serving
@@ -536,25 +718,23 @@ type MaterializationStats struct {
 	LastSteps, LastRounds int
 }
 
-// MaterializationStats reports the state of the cached materialization.
+// MaterializationStats reports the state of the published materialization.
 // Cached is false when none is held (never built, or dropped after a
 // truncation/error); Epoch still reports the monotonic build/extension
-// count in that case.
+// count in that case. Lock-free: the counters were frozen at publish time.
 func (o *Ontology) MaterializationStats() MaterializationStats {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	m := o.mat
+	m := o.mat.Load()
 	if m == nil {
-		return MaterializationStats{Epoch: o.epoch}
+		return MaterializationStats{Epoch: o.epoch.Load()}
 	}
 	return MaterializationStats{
 		Cached:       true,
-		Epoch:        o.epoch,
+		Epoch:        o.epoch.Load(),
 		Terminated:   m.terminated,
 		Facts:        m.ins.Size(),
-		Steps:        m.state.TotalSteps(),
-		Rounds:       m.state.TotalRounds(),
-		NullsCreated: m.state.TotalNulls(),
+		Steps:        m.steps,
+		Rounds:       m.rounds,
+		NullsCreated: m.nulls,
 		LastSteps:    m.lastSteps,
 		LastRounds:   m.lastRounds,
 	}
@@ -570,10 +750,10 @@ func (o *Ontology) Chase() *chase.Result {
 
 // ChaseOptions is Chase with explicit worker count and budgets.
 func (o *Ontology) ChaseOptions(opts Options) *chase.Result {
-	// Write lock, not read: Relation.Clone reads lazily-built indexes, which
-	// concurrent read-locked evaluators may be building.
-	o.mu.Lock()
+	// Read lock suffices: Clone synchronizes with concurrent lazy index
+	// builds itself (it ensures the index before copying it).
+	o.mu.RLock()
 	data := o.data.Clone()
-	o.mu.Unlock()
+	o.mu.RUnlock()
 	return chase.NewState(opts.chaseOptions()).Resume(o.rules, data, data)
 }

@@ -14,9 +14,10 @@ import (
 
 // LoadCSV bulk-loads tuples for one predicate from CSV data into the
 // ontology's database (every record one tuple of constants). The load is
-// atomic: on a malformed CSV nothing is inserted. Like AddFact, a cached
-// chase materialization is maintained incrementally — the genuinely new
-// tuples become the delta of a resumed chase.
+// atomic: on a malformed CSV or an arity conflict nothing is inserted. Like
+// AddFact, the published snapshots are maintained incrementally and
+// copy-on-write — the genuinely new tuples become the delta of a resumed
+// chase, and concurrent readers keep the previous snapshot meanwhile.
 func (o *Ontology) LoadCSV(pred string, r io.Reader) (added int, err error) {
 	// Stage into a private instance first so parse errors leave the
 	// ontology untouched and the new facts are known for the delta. The
@@ -34,14 +35,14 @@ func (o *Ontology) LoadCSV(pred string, r io.Reader) (added int, err error) {
 	for _, t := range rel.Tuples() {
 		atoms = append(atoms, logic.Atom{Pred: pred, Args: t})
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.dropStaleMaterializationLocked()
-	// Check the (uniform) CSV arity against the cached expansion — a
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	o.dropStaleSnapshots()
+	// Check the (uniform) CSV arity against the published expansion — a
 	// superset of the base data — up front, so the load is all-or-nothing
-	// and a conflict leaves data and cache untouched.
+	// and a conflict leaves data and snapshots untouched.
 	want := rel.Arity()
-	if m := o.mat; m != nil {
+	if m := o.mat.Load(); m != nil {
 		if mr := m.ins.Relation(pred); mr != nil {
 			want = mr.Arity()
 		}
@@ -51,17 +52,12 @@ func (o *Ontology) LoadCSV(pred string, r io.Reader) (added int, err error) {
 	if rel.Arity() != want {
 		return 0, fmt.Errorf("repro: csv for %s has arity %d, existing relation has %d", pred, rel.Arity(), want)
 	}
-	for _, a := range atoms {
-		isNew, err := o.data.Insert(a)
-		if err != nil {
-			o.mat = nil // unreachable after validation; defensive
-			return added, err
-		}
-		if isNew {
-			added++
-		}
+	addedAtoms, mut, err := o.commitInserts(atoms)
+	if err != nil {
+		return 0, err
 	}
-	return added, o.extendMaterializationLocked(atoms)
+	o.updateBaseSnapshot(addedAtoms, nil, mut)
+	return len(addedAtoms), o.extendMaterialization(addedAtoms, mut)
 }
 
 // Approx is the outcome of approximate query answering (paper §7: what to
@@ -117,37 +113,32 @@ func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, e
 
 	rw := rewrite.Rewrite(q, o.rules, rewrite.Options{MaxCQs: opts.MaxCQs, Minimize: true})
 	if rw.Complete {
-		// Exact via rewriting; evaluating over the raw data suffices and
-		// the chase need not run at all.
-		o.mu.RLock()
-		defer o.mu.RUnlock()
+		// Exact via rewriting; evaluating over the published base snapshot
+		// suffices and the chase need not run at all. No lock held.
 		return &Approx{
-			Answers:           eval.UCQ(rw.UCQ, o.data, eval.Options{FilterNulls: true}),
+			Answers:           eval.UCQ(rw.UCQ, o.snapshotBase(), eval.Options{FilterNulls: true}),
 			Exact:             true,
 			RewritingComplete: true,
 			QueryRewritable:   true,
 		}, nil
 	}
-	// Serve the chase side from the cached materialization when it already
-	// holds a fresh fixpoint: exact under any budget, no re-chase needed.
-	o.mu.RLock()
-	if m := o.mat; m != nil && m.terminated && m.baseSize == o.data.Size() {
-		defer o.mu.RUnlock()
+	// Serve the chase side from the published materialization when it
+	// already holds a fresh fixpoint: exact under any budget, no re-chase
+	// needed, no lock held.
+	if m := o.mat.Load(); m != nil && m.terminated && m.baseMut == o.data.Mutations() {
 		return &Approx{
 			Answers:         eval.UCQ(query.MustNewUCQ(q), m.ins, eval.Options{FilterNulls: true}),
 			Exact:           true,
 			ChaseTerminated: true,
 		}, nil
 	}
-	o.mu.RUnlock()
-	// Write lock for the snapshot, not read: Relation.Clone reads
-	// lazily-built indexes that concurrent read-locked evaluators may be
-	// building. The chase itself runs on the private clone, unlocked.
-	o.mu.Lock()
+	// Snapshot under the read lock (Clone synchronizes with concurrent lazy
+	// index builds itself); the chase runs on the private clone, unlocked.
+	o.mu.RLock()
 	data := o.data.Clone()
-	snapSize := o.data.Size()
-	o.mu.Unlock()
-	st := chase.NewState(chase.Options{MaxSteps: opts.MaxChaseSteps})
+	snapMut := o.data.Mutations()
+	o.mu.RUnlock()
+	st := chase.NewState(chase.Options{MaxSteps: opts.MaxChaseSteps, TrackProvenance: o.wantProv.Load()})
 	ch := st.Resume(o.rules, data, data)
 
 	res := &Approx{
@@ -166,9 +157,7 @@ func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, e
 		// under-approximation (the truncated rewriting evaluated on raw
 		// data only uses certain disjuncts; the truncated chase contains
 		// only entailed facts).
-		o.mu.RLock()
-		ans := eval.UCQ(rw.UCQ, o.data, eval.Options{FilterNulls: true})
-		o.mu.RUnlock()
+		ans := eval.UCQ(rw.UCQ, o.snapshotBase(), eval.Options{FilterNulls: true})
 		for _, t := range eval.UCQ(query.MustNewUCQ(q), ch.Instance, eval.Options{FilterNulls: true}).Tuples() {
 			ans.Add(t)
 		}
@@ -178,23 +167,16 @@ func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, e
 		// Donate the fixpoint to the materialization cache so later
 		// chase-mode answers (and repeated AnswerApprox calls) are cache
 		// hits. Done after all evaluation over the private instance — once
-		// installed it is shared and may be extended by AddFact. Install
-		// only if the base data did not change meanwhile and no terminated
-		// cache exists already.
-		o.mu.Lock()
-		if o.data.Size() == snapSize &&
-			(o.mat == nil || !o.mat.terminated || o.mat.baseSize != snapSize) {
-			o.epoch++
-			o.mat = &materialization{
-				ins:        ch.Instance,
-				state:      st,
-				terminated: true,
-				baseSize:   snapSize,
-				lastSteps:  ch.Steps,
-				lastRounds: ch.Rounds,
+		// published it is shared and extended copy-on-write by the writers.
+		// Install only if the base data did not change while we chased and
+		// no fresh terminated cache exists already.
+		o.wmu.Lock()
+		if o.data.Mutations() == snapMut {
+			if cur := o.mat.Load(); cur == nil || !cur.terminated || cur.baseMut != snapMut {
+				o.publishMat(ch.Instance, st, true, snapMut, ch.Steps, ch.Rounds)
 			}
 		}
-		o.mu.Unlock()
+		o.wmu.Unlock()
 	}
 	return res, nil
 }
