@@ -6,7 +6,7 @@ GO ?= go
 # failure fail the target (and CI), not vanish behind benchjson's exit 0.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all build test bench lint bench-json
+.PHONY: all build test bench lint bench-json bench-compare pprof
 
 all: lint build test
 
@@ -33,3 +33,30 @@ BENCH_OUT ?= bench.out.json
 
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+
+# Planner ablation: run the planner-sensitive benchmarks once per join-order
+# strategy (PLANNER env, read by TestMain) and compare through benchstat when
+# it is installed, falling back to the raw outputs. BenchmarkAnswer* compare
+# the strategies within a single run and are deliberately excluded here.
+BENCH_COMPARE_PATTERN ?= BenchmarkCQEvaluation|BenchmarkEvaluationOnly|BenchmarkChaseScaling|BenchmarkParallelUCQEvaluation|BenchmarkIncrementalAddFact
+BENCH_COMPARE_COUNT ?= 5
+BENCH_COMPARE_TIME ?= 0.2s
+
+bench-compare:
+	PLANNER=greedy $(GO) test -run '^$$' -bench '$(BENCH_COMPARE_PATTERN)' \
+		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.greedy.txt
+	PLANNER=cost $(GO) test -run '^$$' -bench '$(BENCH_COMPARE_PATTERN)' \
+		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.cost.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench.greedy.txt bench.cost.txt; \
+	else \
+		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest);"; \
+		echo "raw outputs in bench.greedy.txt / bench.cost.txt"; \
+	fi
+
+# CPU + heap profile of the steady-state answering path (warm snapshot and
+# plan cache). Inspect with `go tool pprof -top cpu.prof`.
+pprof:
+	$(GO) test -run '^$$' -bench 'BenchmarkAnswer' -benchtime 200x \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	@echo "inspect with: $(GO) tool pprof -top cpu.prof"

@@ -30,6 +30,7 @@ func main() {
 	querySrc := flag.String("query", "", "conjunctive query")
 	mode := flag.String("mode", "auto", "auto | rewrite | chase")
 	parallel := flag.Int("parallel", 1, "worker count for chase and evaluation (1 = sequential)")
+	planner := flag.String("planner", "cost", "join-order strategy: greedy | cost")
 	maxSteps := flag.Int("max-steps", 0, "chase trigger-firing budget (0 = default 100000)")
 	maxRounds := flag.Int("max-rounds", 0, "chase fair-round budget (0 = default 1000)")
 	add := flag.String("add", "", "facts (program text) to AddFact after the first answer, then re-answer")
@@ -51,7 +52,11 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
-	opts := repro.Options{Mode: m, Parallelism: *parallel, MaxSteps: *maxSteps, MaxRounds: *maxRounds}
+	pl, err := repro.ParsePlanner(*planner)
+	if err != nil {
+		fatal(err)
+	}
+	opts := repro.Options{Mode: m, Parallelism: *parallel, MaxSteps: *maxSteps, MaxRounds: *maxRounds, Planner: pl}
 
 	ont := load(*rulesPath, *dataPath)
 	ans, err := ont.AnswerOptions(*querySrc, opts)

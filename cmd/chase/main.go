@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/chase"
+	"repro/internal/eval"
 	"repro/internal/parser"
 	"repro/internal/storage"
 )
@@ -32,6 +33,7 @@ func main() {
 	maxSteps := flag.Int("max-steps", 0, "trigger-firing budget (0 = default 100000)")
 	maxRounds := flag.Int("max-rounds", 0, "fair-round budget (0 = default 1000)")
 	parallel := flag.Int("parallel", 1, "worker count for the chase (1 = sequential)")
+	planner := flag.String("planner", "cost", "join-order strategy for rule bodies: greedy | cost")
 	add := flag.String("add", "", "extra facts (program text) to fold in after the initial chase")
 	del := flag.String("delete", "", "facts (program text) to delete after the initial chase")
 	incremental := flag.Bool("incremental", false, "with -add/-delete: maintain the chased instance incrementally instead of re-chasing")
@@ -65,7 +67,11 @@ func main() {
 			}
 		}
 	}
-	opts := chase.Options{MaxSteps: *maxSteps, MaxRounds: *maxRounds, Parallelism: *parallel}
+	pl, err := eval.ParsePlanner(*planner)
+	if err != nil {
+		fatal(err)
+	}
+	opts := chase.Options{MaxSteps: *maxSteps, MaxRounds: *maxRounds, Parallelism: *parallel, Planner: pl}
 	if *oblivious {
 		opts.Variant = chase.Oblivious
 	}

@@ -84,6 +84,10 @@ type Options struct {
 	// State.Delete needs for DRed-style incremental deletion; runs that will
 	// never delete can leave it off and pay nothing.
 	TrackProvenance bool
+	// Planner selects the join-order strategy for the compiled rule-body
+	// plans (eval.PlannerDefault resolves to eval.DefaultPlanner). Any value
+	// yields the same chase up to null names.
+	Planner eval.Planner
 }
 
 func (o Options) withDefaults() Options {
@@ -114,11 +118,69 @@ type Result struct {
 	NullsCreated int
 }
 
-// trigger is one candidate rule application: a rule index and the full-body
-// binding restricted to the body variables.
+// trigger is one candidate rule application: a rule index, the full-body
+// binding restricted to the body variables, and its canonical key (computed
+// once at discovery, reused for cross-task dedup).
 type trigger struct {
 	rule     int
 	frontier logic.Subst
+	key      string
+}
+
+// planSet holds the plans compiled once per Resume call and reused across
+// every round and every delta fact: per (rule, body atom) a delta plan that
+// pins that atom to a delta tuple and joins the rest, and per rule a
+// head-satisfaction plan seeded by the distinguished variables. Statistics
+// are frozen at compile time — relations grown by later rounds keep the
+// order, which affects only speed, never the computed fixpoint.
+type planSet struct {
+	delta [][]*eval.Plan // [rule][bodyAtom]
+	slots [][][]int      // [rule][bodyAtom] → register slot of each BodyVars()[k]
+	head  []*eval.Plan   // [rule]
+}
+
+// newPlanSet compiles the rule set against the instance.
+func newPlanSet(rules *dependency.Set, ins *storage.Instance, planner eval.Planner) *planSet {
+	ps := &planSet{
+		delta: make([][]*eval.Plan, len(rules.Rules)),
+		slots: make([][][]int, len(rules.Rules)),
+		head:  make([]*eval.Plan, len(rules.Rules)),
+	}
+	for ri, rule := range rules.Rules {
+		bodyVars := rule.BodyVars()
+		ps.delta[ri] = make([]*eval.Plan, len(rule.Body))
+		ps.slots[ri] = make([][]int, len(rule.Body))
+		for bi := range rule.Body {
+			p := eval.CompileDelta(rule.Body, bi, ins, planner)
+			ps.delta[ri][bi] = p
+			ps.slots[ri][bi] = p.Slots(bodyVars)
+		}
+		ps.head[ri] = eval.CompileBody(rule.Head, ins, rule.Distinguished(), planner)
+	}
+	return ps
+}
+
+// headSatisfied is the restricted-chase applicability test on the compiled
+// head plan: with the distinguished variables seeded from the trigger
+// frontier, any match of the head atoms (existential variables free) means
+// the head already holds. runners caches one Runner per rule for the calling
+// worker, so repeated checks allocate nothing.
+func (ps *planSet) headSatisfied(ri int, frontier logic.Subst, ins *storage.Instance, runners []*eval.Runner) bool {
+	r := runners[ri]
+	if r == nil {
+		r = ps.head[ri].NewRunner()
+		runners[ri] = r
+	}
+	if !r.Bind(ins) {
+		return false // a head relation is absent: nothing can satisfy it
+	}
+	r.SeedSubst(frontier)
+	found := false
+	r.Run(0, 1, func([]logic.Term) bool {
+		found = true
+		return false
+	})
+	return found
 }
 
 // Run chases data with rules. The input instance is not modified.
@@ -131,11 +193,14 @@ func Run(rules *dependency.Set, data *storage.Instance, opts Options) *Result {
 }
 
 // collectTriggers enumerates, semi-naively, every rule binding with at least
-// one body atom in delta: task (rule, i) pins body atom i to delta facts and
-// joins the remaining atoms against the full frozen instance. Bindings found
-// through several delta atoms are deduplicated at the merge, preserving task
-// order so the sequential path stays deterministic.
-func collectTriggers(rules *dependency.Set, ins, delta *storage.Instance, workers int) []trigger {
+// one body atom in delta: task (rule, i) runs the precompiled delta plan
+// that pins body atom i to a delta tuple and joins the remaining atoms
+// against the full frozen instance — no substitution maps and no re-planning
+// per delta fact; frontiers and their keys are read straight out of the
+// register file and a Subst is materialized only for genuinely new bindings.
+// Bindings found through several delta atoms are deduplicated at the merge,
+// preserving task order so the sequential path stays deterministic.
+func collectTriggers(rules *dependency.Set, ins, delta *storage.Instance, workers int, ps *planSet) []trigger {
 	type task struct {
 		rule int
 		atom int
@@ -153,21 +218,22 @@ func collectTriggers(rules *dependency.Set, ins, delta *storage.Instance, worker
 		t := tasks[ti]
 		rule := rules.Rules[t.rule]
 		bodyVars := rule.BodyVars()
-		rest := make([]logic.Atom, 0, len(rule.Body)-1)
-		rest = append(rest, rule.Body[:t.atom]...)
-		rest = append(rest, rule.Body[t.atom+1:]...)
+		slots := ps.slots[t.rule][t.atom]
+		runner := ps.delta[t.rule][t.atom].NewRunner()
+		if !runner.Bind(ins) {
+			return // a body relation is absent from ins: the rule cannot fire
+		}
 		seen := make(map[string]bool)
 		for _, tuple := range delta.Relation(rule.Body[t.atom].Pred).Tuples() {
-			seed, ok := seedFromTuple(rule.Body[t.atom], tuple)
-			if !ok {
-				continue
-			}
-			eval.MatchesSeeded(rest, ins, seed, func(s logic.Subst) bool {
-				frontier := s.Restrict(bodyVars)
-				key := bindingKey(frontier, bodyVars)
+			runner.RunTuple(tuple, func(regs []logic.Term) bool {
+				key := regsKey(regs, slots)
 				if !seen[key] {
 					seen[key] = true
-					found[ti] = append(found[ti], trigger{rule: t.rule, frontier: frontier})
+					frontier := make(logic.Subst, len(slots))
+					for i, v := range bodyVars {
+						frontier[v] = regs[slots[i]]
+					}
+					found[ti] = append(found[ti], trigger{rule: t.rule, frontier: frontier, key: key})
 				}
 				return true
 			})
@@ -183,11 +249,9 @@ func collectTriggers(rules *dependency.Set, ins, delta *storage.Instance, worker
 			ruleSeen = make(map[string]bool)
 			seen[tasks[ti].rule] = ruleSeen
 		}
-		bodyVars := rules.Rules[tasks[ti].rule].BodyVars()
 		for _, tr := range trs {
-			key := bindingKey(tr.frontier, bodyVars)
-			if !ruleSeen[key] {
-				ruleSeen[key] = true
+			if !ruleSeen[tr.key] {
+				ruleSeen[tr.key] = true
 				out = append(out, tr)
 			}
 		}
@@ -246,6 +310,8 @@ func runTasks(n, workers int, fn func(i int)) {
 // headSatisfied reports whether the rule head, with frontier variables bound
 // per the trigger, already holds in the instance (the restricted-chase
 // applicability test). Existential head variables may map to anything.
+// Compiles per call — the Resume hot path uses planSet.headSatisfied
+// instead; this stays for the DRed direct sweep, where triggers are few.
 func headSatisfied(rule *dependency.TGD, frontier logic.Subst, ins *storage.Instance) bool {
 	head := frontier.ApplyAtoms(rule.Head)
 	found := false
@@ -272,6 +338,24 @@ func triggerKey(rule int, frontier logic.Subst, vars []logic.Term) string {
 	p := strconv.AppendInt(prefix[:0], int64(rule), 10)
 	p = append(p, 0)
 	return buildKey(p, frontier, vars)
+}
+
+// regsKey is bindingKey read straight from a plan's register file: same
+// encoding (kind digit, name, NUL per variable), no substitution walks.
+func regsKey(regs []logic.Term, slots []int) string {
+	n := 0
+	for _, s := range slots {
+		n += len(regs[s].Name) + 2
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for _, s := range slots {
+		t := regs[s]
+		b.WriteByte('0' + byte(t.Kind))
+		b.WriteString(t.Name)
+		b.WriteByte(0)
+	}
+	return b.String()
 }
 
 // buildKey assembles prefix plus the canonical binding encoding.
@@ -302,7 +386,7 @@ func buildKey(prefix []byte, frontier logic.Subst, vars []logic.Term) string {
 // Evaluation inherits the chase's Parallelism.
 func CertainAnswers(u *query.UCQ, rules *dependency.Set, data *storage.Instance, opts Options) (*eval.Answers, *Result) {
 	res := Run(rules, data, opts)
-	ans := eval.UCQ(u, res.Instance, eval.Options{FilterNulls: true, Parallelism: opts.Parallelism})
+	ans := eval.UCQ(u, res.Instance, eval.Options{FilterNulls: true, Parallelism: opts.Parallelism, Planner: opts.Planner})
 	return ans, res
 }
 

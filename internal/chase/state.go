@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dependency"
+	"repro/internal/eval"
 	"repro/internal/logic"
 	"repro/internal/storage"
 )
@@ -209,6 +210,14 @@ func (st *State) Resume(rules *dependency.Set, ins, delta *storage.Instance) *Re
 		}
 	}()
 
+	// Compile every rule body and head once for this Resume call; the plans
+	// (atom order, access paths, register micro-programs) are reused across
+	// all rounds and all delta facts. Column statistics are read from the
+	// instance as of now — later rounds may grow relations, which can only
+	// make the frozen order suboptimal, never wrong.
+	ins.EnsureIndexes()
+	plans := newPlanSet(rules, ins, opts.Planner)
+
 	for res.Rounds < opts.MaxRounds {
 		res.Rounds++
 
@@ -216,7 +225,7 @@ func (st *State) Resume(rules *dependency.Set, ins, delta *storage.Instance) *Re
 		// below are lock-free and race-free, all writes buffered in shards.
 		ins.EnsureIndexes()
 
-		triggers := collectTriggers(rules, ins, delta, workers)
+		triggers := collectTriggers(rules, ins, delta, workers, plans)
 		if opts.Variant == Oblivious {
 			kept := triggers[:0]
 			for _, tr := range triggers {
@@ -245,13 +254,16 @@ func (st *State) Resume(rules *dependency.Set, ins, delta *storage.Instance) *Re
 		runTasks(workers, workers, func(w int) {
 			shard := storage.NewShard()
 			shards[w] = shard
+			// Per-worker head-plan runners, lazily created per rule: repeated
+			// applicability checks reuse the register file, allocation-free.
+			headRunners := make([]*eval.Runner, len(rules.Rules))
 			for i := w; i < len(triggers); i += workers {
 				if truncated.Load() {
 					return
 				}
 				tr := triggers[i]
 				rule := rules.Rules[tr.rule]
-				if opts.Variant == Restricted && headSatisfied(rule, tr.frontier, ins) {
+				if opts.Variant == Restricted && plans.headSatisfied(tr.rule, tr.frontier, ins, headRunners) {
 					continue
 				}
 				if n := steps.Add(1); int(n) > opts.MaxSteps {

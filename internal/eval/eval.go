@@ -1,8 +1,18 @@
 // Package eval evaluates conjunctive queries and unions of conjunctive
-// queries over storage instances. Evaluation is index-backed backtracking
-// join with a greedy bound-first atom order — the "classical DBMS
-// evaluation" that a first-order rewriting reduces ontological query
-// answering to.
+// queries over storage instances — the "classical DBMS evaluation" that a
+// first-order rewriting reduces ontological query answering to.
+//
+// Evaluation is split into a planner and an executor. The planner (plan.go)
+// compiles a query once per (query, instance): variables are numbered into
+// integer register slots, atoms are ordered either by a statistics-driven
+// cost model over the per-column distinct counts storage maintains
+// (PlannerCost) or by the legacy greedy heuristic (PlannerGreedy), and every
+// atom gets a fixed access path plus a check/bind micro-program. The
+// executor (exec.go) runs the plan over a flat register array — no
+// substitution maps, no term walking, no per-binding allocation. CQ, UCQ,
+// Matches and MatchesSeeded all share the same compiled pipeline; callers
+// that evaluate the same query repeatedly can compile once (CompileCQ /
+// CompileUCQ) and run the plans via RunPlans.
 package eval
 
 import (
@@ -27,6 +37,10 @@ type Options struct {
 	// sharded across workers. 0 or 1 means sequential. Limit > 0 forces the
 	// sequential path (a deterministic prefix is only defined sequentially).
 	Parallelism int
+	// Planner selects the atom-ordering strategy for plans compiled on the
+	// fly (PlannerDefault resolves to DefaultPlanner). Precompiled plans
+	// carry their own strategy.
+	Planner Planner
 }
 
 // workers returns the effective worker count.
@@ -49,7 +63,9 @@ func NewAnswers(arity int) *Answers {
 	return &Answers{arity: arity, keys: make(map[string]bool)}
 }
 
-// Add inserts a tuple, reporting whether it was new.
+// Add inserts a copy of the tuple, reporting whether it was new. Use
+// AddOwned when the tuple is freshly allocated and never reused by the
+// caller — the executor's projection path is, so evaluation never clones.
 func (a *Answers) Add(t storage.Tuple) bool {
 	k := t.Key()
 	if a.keys[k] {
@@ -57,6 +73,18 @@ func (a *Answers) Add(t storage.Tuple) bool {
 	}
 	a.keys[k] = true
 	a.tuples = append(a.tuples, t.Clone())
+	return true
+}
+
+// AddOwned inserts the tuple without copying, taking ownership. The caller
+// must not mutate or reuse the tuple afterwards.
+func (a *Answers) AddOwned(t storage.Tuple) bool {
+	k := t.Key()
+	if a.keys[k] {
+		return false
+	}
+	a.keys[k] = true
+	a.tuples = append(a.tuples, t)
 	return true
 }
 
@@ -73,12 +101,30 @@ func (a *Answers) Arity() int { return a.arity }
 func (a *Answers) Tuples() []storage.Tuple { return a.tuples }
 
 // Sorted returns the answers sorted lexicographically by key (stable,
-// deterministic output for printing and comparison).
+// deterministic output for printing and comparison). Keys are computed once
+// per tuple, not once per comparison.
 func (a *Answers) Sorted() []storage.Tuple {
 	out := make([]storage.Tuple, len(a.tuples))
 	copy(out, a.tuples)
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	keys := make([]string, len(out))
+	for i, t := range out {
+		keys[i] = t.Key()
+	}
+	sort.Sort(&byKey{tuples: out, keys: keys})
 	return out
+}
+
+// byKey sorts tuples by their precomputed keys.
+type byKey struct {
+	tuples []storage.Tuple
+	keys   []string
+}
+
+func (s *byKey) Len() int           { return len(s.tuples) }
+func (s *byKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey) Swap(i, j int) {
+	s.tuples[i], s.tuples[j] = s.tuples[j], s.tuples[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // Equal reports whether two answer sets contain the same tuples.
@@ -118,16 +164,11 @@ func (a *Answers) String() string {
 	return strings.Join(lines, "\n")
 }
 
-// CQ evaluates a conjunctive query over the instance. With
-// Options.Parallelism > 1 the outer loop of the backtracking join is sharded
+// CQ evaluates a conjunctive query over the instance, compiling a plan per
+// call. With Options.Parallelism > 1 the outer loop of the join is sharded
 // across workers; the answer set is identical to the sequential result.
 func CQ(q *query.CQ, ins *storage.Instance, opts Options) *Answers {
-	if p := opts.workers(); p > 1 {
-		return parallelEval([]*query.CQ{q}, q.Arity(), ins, opts, p)
-	}
-	out := NewAnswers(q.Arity())
-	evalShard(q, ins, opts, 0, 1, out)
-	return out
+	return RunPlans([]*Plan{CompileCQ(q, ins, opts.Planner)}, q.Arity(), ins, opts)
 }
 
 // UCQ evaluates a union of conjunctive queries, unioning the answers. With
@@ -135,35 +176,40 @@ func CQ(q *query.CQ, ins *storage.Instance, opts Options) *Answers {
 // join's outer loop is sharded; the answer set is identical to the
 // sequential result.
 func UCQ(u *query.UCQ, ins *storage.Instance, opts Options) *Answers {
+	return RunPlans(CompileUCQ(u, ins, opts.Planner), u.Arity(), ins, opts)
+}
+
+// RunPlans evaluates precompiled CQ plans (the disjuncts of a union) over
+// the instance, unioning the answers. It is the execution entry point behind
+// CQ and UCQ; callers holding a plan cache (Ontology) invoke it directly so
+// repeated queries skip compilation.
+func RunPlans(plans []*Plan, arity int, ins *storage.Instance, opts Options) *Answers {
 	if p := opts.workers(); p > 1 {
-		return parallelEval(u.CQs, u.Arity(), ins, opts, p)
+		return parallelEval(plans, arity, ins, opts, p)
 	}
-	out := NewAnswers(u.Arity())
-	for _, q := range u.CQs {
-		for _, t := range CQ(q, ins, opts).Tuples() {
-			out.Add(t)
-			if opts.Limit > 0 && out.Len() >= opts.Limit {
-				return out
-			}
+	out := NewAnswers(arity)
+	for _, plan := range plans {
+		if !runPlanShard(plan, ins, opts, 0, 1, out) {
+			break // limit reached
 		}
 	}
 	return out
 }
 
-// parallelEval fans the (CQ × outer-shard) work units of a UCQ out over p
-// workers. Each worker accumulates into a private Answers (no locks on the
+// parallelEval fans the (plan × outer-shard) work units of a union out over
+// p workers. Each worker accumulates into a private Answers (no locks on the
 // hot path); the privates are merged into the deduplicating result at the
 // end. Indexes are pre-built so workers never race on the lazy build.
-func parallelEval(cqs []*query.CQ, arity int, ins *storage.Instance, opts Options, p int) *Answers {
+func parallelEval(plans []*Plan, arity int, ins *storage.Instance, opts Options, p int) *Answers {
 	ins.EnsureIndexes()
 	type unit struct {
-		q     *query.CQ
+		plan  *Plan
 		shard int
 	}
-	units := make([]unit, 0, len(cqs)*p)
-	for _, q := range cqs {
+	units := make([]unit, 0, len(plans)*p)
+	for _, plan := range plans {
 		for s := 0; s < p; s++ {
-			units = append(units, unit{q: q, shard: s})
+			units = append(units, unit{plan: plan, shard: s})
 		}
 	}
 	results := make([]*Answers, len(units))
@@ -175,7 +221,7 @@ func parallelEval(cqs []*query.CQ, arity int, ins *storage.Instance, opts Option
 			defer wg.Done()
 			for i := range next {
 				out := NewAnswers(arity)
-				evalShard(units[i].q, ins, opts, units[i].shard, p, out)
+				runPlanShard(units[i].plan, ins, opts, units[i].shard, p, out)
 				results[i] = out
 			}
 		}()
@@ -188,28 +234,45 @@ func parallelEval(cqs []*query.CQ, arity int, ins *storage.Instance, opts Option
 	merged := NewAnswers(arity)
 	for _, r := range results {
 		for _, t := range r.Tuples() {
-			merged.Add(t)
+			// The worker-private sets are discarded; their tuples are owned.
+			merged.AddOwned(t)
 		}
 	}
 	return merged
 }
 
-// evalShard runs one shard of a CQ's backtracking join, adding head tuples
-// to out. Shard k of n enumerates only every n-th candidate of the outermost
-// atom, so the n shards partition the match space exactly.
-func evalShard(q *query.CQ, ins *storage.Instance, opts Options, shard, nshards int, out *Answers) {
-	order := planOrder(q.Body, ins, nil)
-	enumerateShard(order, ins, nil, shard, nshards, func(binding logic.Subst) bool {
-		tuple := make(storage.Tuple, len(q.Head.Args))
-		for i, t := range q.Head.Args {
-			tuple[i] = binding.Walk(t)
+// runPlanShard runs one shard of a compiled CQ plan, projecting head tuples
+// into out. Returns false when the answer limit was reached.
+func runPlanShard(plan *Plan, ins *storage.Instance, opts Options, shard, nshards int, out *Answers) bool {
+	r := plan.NewRunner()
+	if !r.Bind(ins) {
+		return true
+	}
+	cont := true
+	r.Run(shard, nshards, func(regs []logic.Term) bool {
+		if opts.FilterNulls {
+			for _, h := range plan.head {
+				if h.slot >= 0 && regs[h.slot].IsNull() {
+					return true
+				}
+			}
 		}
-		if opts.FilterNulls && tuple.HasNull() {
-			return true
+		tuple := make(storage.Tuple, len(plan.head))
+		for i, h := range plan.head {
+			if h.slot >= 0 {
+				tuple[i] = regs[h.slot]
+			} else {
+				tuple[i] = h.term
+			}
 		}
-		out.Add(tuple)
-		return opts.Limit == 0 || out.Len() < opts.Limit
+		out.AddOwned(tuple)
+		if opts.Limit > 0 && out.Len() >= opts.Limit {
+			cont = false
+			return false
+		}
+		return true
 	})
+	return cont
 }
 
 // Holds reports whether a boolean query (arity 0) is satisfied.
@@ -227,154 +290,30 @@ func Matches(body []logic.Atom, ins *storage.Instance, yield func(logic.Subst) b
 }
 
 // MatchesSeeded is Matches with an initial binding: only extensions of seed
-// are enumerated. The semi-naive chase uses it to pin one body atom to a
-// delta fact and join the remaining atoms against the full instance.
+// are enumerated. It compiles a plan per call; hot callers (the chase)
+// compile once with CompileBody/CompileDelta and drive the Runner directly.
 func MatchesSeeded(body []logic.Atom, ins *storage.Instance, seed logic.Subst, yield func(logic.Subst) bool) {
 	seedVars := make([]logic.Term, 0, len(seed))
 	for v := range seed {
 		seedVars = append(seedVars, v)
 	}
-	order := planOrder(body, ins, seedVars)
-	enumerateShard(order, ins, seed, 0, 1, yield)
-}
-
-// enumerateShard backtracks over the (already planned) atom order, starting
-// from the seed binding. Shard k of nshards restricts the outermost atom to
-// every nshards-th candidate; with nshards == 1 it is the plain enumeration.
-func enumerateShard(order []logic.Atom, ins *storage.Instance, seed logic.Subst, shard, nshards int, yield func(logic.Subst) bool) {
+	sort.Slice(seedVars, func(i, j int) bool { return seedVars[i].Name < seedVars[j].Name })
+	plan := CompileBody(body, ins, seedVars, PlannerDefault)
+	r := plan.NewRunner()
+	if !r.Bind(ins) {
+		return
+	}
+	r.SeedSubst(seed)
 	binding := logic.NewSubst()
-	for v, t := range seed {
-		binding[v] = t
-	}
-	var rec func(i int) bool
-	rec = func(i int) bool {
-		if i == len(order) {
-			return yield(binding)
+	r.Run(0, 1, func(regs []logic.Term) bool {
+		for v := range binding {
+			delete(binding, v)
 		}
-		a := order[i]
-		rel := ins.Relation(a.Pred)
-		if rel == nil || rel.Arity() != a.Arity() {
-			return true // no matching tuples; this branch yields nothing
-		}
-		// Choose the most selective access path: an index lookup on a bound
-		// column if any, else a scan.
-		candIdx := candidateOffsets(a, rel, binding)
-		if i == 0 && nshards > 1 {
-			strided := make([]int, 0, len(candIdx)/nshards+1)
-			for j := shard; j < len(candIdx); j += nshards {
-				strided = append(strided, candIdx[j])
-			}
-			candIdx = strided
-		}
-		for _, off := range candIdx {
-			tuple := rel.Tuples()[off]
-			var undo []logic.Term
-			ok := true
-			for j, argT := range a.Args {
-				s := binding.Walk(argT)
-				t := tuple[j]
-				switch {
-				case s == t:
-				case s.IsVar():
-					binding[s] = t
-					undo = append(undo, s)
-				default:
-					ok = false
-				}
-				if !ok {
-					break
-				}
-			}
-			if ok && !rec(i+1) {
-				for _, u := range undo {
-					delete(binding, u)
-				}
-				return false
-			}
-			for _, u := range undo {
-				delete(binding, u)
+		for i, v := range plan.slotVar {
+			if t := regs[i]; t != v {
+				binding[v] = t
 			}
 		}
-		return true
-	}
-	rec(0)
-}
-
-// candidateOffsets returns the offsets of tuples to try for atom a under the
-// current binding: an index lookup when some argument is bound, otherwise
-// all offsets.
-func candidateOffsets(a logic.Atom, rel *storage.Relation, binding logic.Subst) []int {
-	bestCol, bestTerm, bestLen := -1, logic.Term{}, -1
-	for j, argT := range a.Args {
-		s := binding.Walk(argT)
-		if s.IsVar() {
-			continue
-		}
-		l := len(rel.Lookup(j, s))
-		if bestCol == -1 || l < bestLen {
-			bestCol, bestTerm, bestLen = j, s, l
-		}
-	}
-	if bestCol >= 0 {
-		return rel.Lookup(bestCol, bestTerm)
-	}
-	all := make([]int, rel.Len())
-	for i := range all {
-		all[i] = i
-	}
-	return all
-}
-
-// planOrder orders atoms for evaluation: smallest relations and most
-// constants first, then greedily by connectivity to already-planned atoms.
-// Variables in seedVars count as bound from the start, steering the order
-// toward atoms the seed makes selective.
-func planOrder(body []logic.Atom, ins *storage.Instance, seedVars []logic.Term) []logic.Atom {
-	scored := make([]logic.Atom, len(body))
-	copy(scored, body)
-	size := func(a logic.Atom) int {
-		rel := ins.Relation(a.Pred)
-		if rel == nil {
-			return 0
-		}
-		n := rel.Len() * 4
-		for _, t := range a.Args {
-			if t.IsRigid() {
-				n--
-			}
-		}
-		return n
-	}
-	sort.SliceStable(scored, func(i, j int) bool { return size(scored[i]) < size(scored[j]) })
-
-	placed := make([]logic.Atom, 0, len(scored))
-	bound := make(map[logic.Term]bool)
-	for _, v := range seedVars {
-		bound[v] = true
-	}
-	remaining := scored
-	for len(remaining) > 0 {
-		best := 0
-		if len(bound) > 0 {
-			found := false
-			for i, a := range remaining {
-				for _, v := range a.Vars() {
-					if bound[v] {
-						best, found = i, true
-						break
-					}
-				}
-				if found {
-					break
-				}
-			}
-		}
-		a := remaining[best]
-		placed = append(placed, a)
-		for _, v := range a.Vars() {
-			bound[v] = true
-		}
-		remaining = append(remaining[:best], remaining[best+1:]...)
-	}
-	return placed
+		return yield(binding)
+	})
 }

@@ -1,0 +1,188 @@
+// The executor half of the evaluation engine: a compiled Plan runs over a
+// flat register array of terms. Backtracking is iterative with per-depth
+// cursors; undo is free because every register an atom binds is overwritten
+// before it can be read again (registers are only read by ops at the same or
+// a deeper level, and re-entering a level re-runs its binds). The hot loop
+// performs no substitution-map operations and no per-binding allocations —
+// the only map reads are the index probes themselves.
+package eval
+
+import (
+	"repro/internal/logic"
+	"repro/internal/storage"
+)
+
+// cursor is the iteration state of one join level.
+type cursor struct {
+	// posting lists candidate tuple offsets (index path); nil scans tuples.
+	posting []int
+	tuples  []storage.Tuple
+	n       int // candidates to visit
+	pos     int
+	stride  int
+}
+
+// Runner is the mutable execution state of one plan: the register file, the
+// per-level cursors and the relation pointers resolved against an instance.
+// A Runner belongs to one goroutine; allocate one per worker (NewRunner) and
+// reuse it across executions — Bind, seed, Run allocate nothing.
+type Runner struct {
+	plan *Plan
+	regs []logic.Term
+	curs []cursor
+	rels []*storage.Relation
+}
+
+// NewRunner allocates the execution state for the plan.
+func (p *Plan) NewRunner() *Runner {
+	return &Runner{
+		plan: p,
+		regs: make([]logic.Term, p.nslots),
+		curs: make([]cursor, len(p.atoms)),
+		rels: make([]*storage.Relation, len(p.atoms)),
+	}
+}
+
+// Bind resolves the plan's relations against ins, reporting whether every
+// atom has a matching relation (false means no binding can ever match, and
+// Run must not be called). Resolution is by name on every Bind, so plans
+// survive copy-on-write relation swaps and relations created after
+// compilation; within one enumeration the instance must be frozen, as for
+// all concurrent reads.
+func (r *Runner) Bind(ins *storage.Instance) bool {
+	for i := range r.plan.atoms {
+		rel := ins.Relation(r.plan.atoms[i].pred)
+		if rel == nil || rel.Arity() != r.plan.atoms[i].arity {
+			return false
+		}
+		r.rels[i] = rel
+	}
+	return true
+}
+
+// SeedSubst fills the seed registers of a Subst-seeded plan (CompileBody):
+// register i takes the walked image of seedVars[i]. Every seed variable must
+// resolve to a rigid term.
+func (r *Runner) SeedSubst(seed logic.Subst) {
+	for i, v := range r.plan.seedVars {
+		r.regs[i] = seed.Walk(v)
+	}
+}
+
+// RunTuple executes a delta plan (CompileDelta) for one seed tuple: the seed
+// micro-program binds/checks the pinned atom's columns against the tuple —
+// exactly unification, including repeated variables and constants — and on
+// success the remaining atoms are enumerated. Returns false iff yield
+// aborted the enumeration. Requires a successful Bind.
+func (r *Runner) RunTuple(tuple storage.Tuple, yield func(regs []logic.Term) bool) bool {
+	for _, o := range r.plan.seedOps {
+		t := tuple[o.col]
+		switch o.kind {
+		case opBind:
+			r.regs[o.slot] = t
+		case opEq:
+			if r.regs[o.slot] != t {
+				return true
+			}
+		case opConst:
+			if o.term != t {
+				return true
+			}
+		}
+	}
+	return r.Run(0, 1, yield)
+}
+
+// Run enumerates every match of the plan over the bound instance, invoking
+// yield with the register file for each; enumeration stops early when yield
+// returns false (Run then returns false). Shard k of nshards restricts the
+// outermost atom to every nshards-th candidate, so the shards partition the
+// match space exactly. The register slice passed to yield is reused across
+// calls — callers must copy what they keep.
+func (r *Runner) Run(shard, nshards int, yield func(regs []logic.Term) bool) bool {
+	atoms := r.plan.atoms
+	if len(atoms) == 0 {
+		return yield(r.regs)
+	}
+	last := len(atoms) - 1
+	r.initCursor(0, shard, nshards)
+	depth := 0
+	for {
+		cur := &r.curs[depth]
+		matched := false
+		for cur.pos < cur.n {
+			i := cur.pos
+			cur.pos += cur.stride
+			var tuple storage.Tuple
+			if cur.posting != nil {
+				tuple = cur.tuples[cur.posting[i]]
+			} else {
+				tuple = cur.tuples[i]
+			}
+			if r.check(depth, tuple) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			depth--
+			if depth < 0 {
+				return true
+			}
+			continue
+		}
+		if depth == last {
+			if !yield(r.regs) {
+				return false
+			}
+			continue
+		}
+		depth++
+		r.initCursor(depth, 0, 1)
+	}
+}
+
+// initCursor positions the cursor of one level on its candidate set, probing
+// the planned index column with the key register (or constant) when the
+// access path is an index, scanning otherwise.
+func (r *Runner) initCursor(depth, start, stride int) {
+	step := &r.plan.atoms[depth]
+	rel := r.rels[depth]
+	cur := &r.curs[depth]
+	cur.tuples = rel.Tuples()
+	cur.pos = start
+	cur.stride = stride
+	if step.idxCol >= 0 {
+		key := step.keyTerm
+		if step.keySlot >= 0 {
+			key = r.regs[step.keySlot]
+		}
+		cur.posting = rel.Lookup(step.idxCol, key)
+		cur.n = len(cur.posting)
+		return
+	}
+	cur.posting = nil
+	cur.n = len(cur.tuples)
+}
+
+// check runs one atom's micro-program against a candidate tuple, binding
+// registers as a side effect. A false return leaves some registers written;
+// that is safe because they are re-written before any op can read them.
+func (r *Runner) check(depth int, tuple storage.Tuple) bool {
+	for _, o := range r.plan.atoms[depth].ops {
+		t := tuple[o.col]
+		switch o.kind {
+		case opBind:
+			r.regs[o.slot] = t
+		case opEq:
+			if r.regs[o.slot] != t {
+				return false
+			}
+		case opConst:
+			if o.term != t {
+				return false
+			}
+		}
+	}
+	return true
+}

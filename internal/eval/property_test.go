@@ -118,3 +118,69 @@ func TestEvalMonotone(t *testing.T) {
 		prev = cur
 	}
 }
+
+// TestPlannersAgreeOnRandomQueries: for seeded random instances and queries,
+// the cost-ordered and greedy plans must produce identical answer sets —
+// atom order and access paths are performance choices, never semantics.
+func TestPlannersAgreeOnRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	consts := make([]logic.Term, 6)
+	for i := range consts {
+		consts[i] = logic.NewConst(fmt.Sprintf("d%d", i))
+	}
+	vars := []logic.Term{
+		logic.NewVar("X"), logic.NewVar("Y"), logic.NewVar("Z"), logic.NewVar("W"),
+	}
+	preds := []struct {
+		name  string
+		arity int
+	}{{"r", 2}, {"s", 1}, {"t", 3}, {"u", 2}}
+
+	for trial := 0; trial < 80; trial++ {
+		ins := storage.NewInstance()
+		for _, p := range preds {
+			for k := 0; k < 3+rng.Intn(12); k++ {
+				args := make([]logic.Term, p.arity)
+				for j := range args {
+					args[j] = consts[rng.Intn(len(consts))]
+				}
+				if err := ins.InsertAtom(logic.NewAtom(p.name, args...)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		n := 1 + rng.Intn(4)
+		body := make([]logic.Atom, n)
+		for i := range body {
+			p := preds[rng.Intn(len(preds))]
+			args := make([]logic.Term, p.arity)
+			for j := range args {
+				if rng.Intn(4) == 0 {
+					args[j] = consts[rng.Intn(len(consts))]
+				} else {
+					args[j] = vars[rng.Intn(len(vars))]
+				}
+			}
+			body[i] = logic.NewAtom(p.name, args...)
+		}
+		bodyVars := logic.VarsOf(body)
+		var head []logic.Term
+		for k := 0; k < len(bodyVars) && k < 2; k++ {
+			head = append(head, bodyVars[k])
+		}
+		q, err := query.New(logic.NewAtom("q", head...), body)
+		if err != nil {
+			continue
+		}
+		costAns := CQ(q, ins, Options{Planner: PlannerCost})
+		greedyAns := CQ(q, ins, Options{Planner: PlannerGreedy})
+		if !costAns.Equal(greedyAns) {
+			t.Fatalf("trial %d: planners disagree on %v\ncost: %v\ngreedy: %v\ninstance:\n%v",
+				trial, q, costAns, greedyAns, ins)
+		}
+		costPar := CQ(q, ins, Options{Planner: PlannerCost, Parallelism: 3})
+		if !costAns.Equal(costPar) {
+			t.Fatalf("trial %d: parallel cost plan diverges on %v", trial, q)
+		}
+	}
+}

@@ -207,6 +207,28 @@ func (r *Relation) Lookup(col int, term logic.Term) []int {
 	return r.index[col][term]
 }
 
+// Distinct returns the number of distinct terms at column col — the key
+// count of the per-column index, which Insert and Remove maintain
+// incrementally (Remove drops a term's map entry when its posting list
+// empties). Builds the index on first use; safe for concurrent readers under
+// the Relation concurrency contract. The join planner's cost model divides
+// Len by this to estimate the expected posting-list length of an index probe.
+func (r *Relation) Distinct(col int) int {
+	r.EnsureIndex()
+	return len(r.index[col])
+}
+
+// Stats returns the per-column distinct counts, one per column. Same
+// provenance and concurrency contract as Distinct.
+func (r *Relation) Stats() []int {
+	r.EnsureIndex()
+	out := make([]int, r.arity)
+	for col := range out {
+		out[col] = len(r.index[col])
+	}
+	return out
+}
+
 // Instance is a database instance: a collection of relations keyed by
 // predicate name.
 //

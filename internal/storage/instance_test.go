@@ -308,3 +308,33 @@ func TestCloneBuildsIndexForRaceSafety(t *testing.T) {
 		t.Error("cloned key map must answer Contains")
 	}
 }
+
+func TestRelationStats(t *testing.T) {
+	r := NewRelation("r", 2)
+	r.Insert(Tuple{c("a"), c("x")})
+	r.Insert(Tuple{c("a"), c("y")})
+	r.Insert(Tuple{c("b"), c("x")})
+	if got := r.Stats(); got[0] != 2 || got[1] != 2 {
+		t.Errorf("Stats = %v, want [2 2]", got)
+	}
+	if r.Distinct(0) != 2 || r.Distinct(1) != 2 {
+		t.Errorf("Distinct = %d,%d", r.Distinct(0), r.Distinct(1))
+	}
+	// Incremental maintenance: inserts after the index is built keep the
+	// counts current, and removals drop a term once its postings empty.
+	r.Insert(Tuple{c("c"), c("x")})
+	if r.Distinct(0) != 3 {
+		t.Errorf("Distinct(0) after insert = %d, want 3", r.Distinct(0))
+	}
+	r.Remove(Tuple{c("b"), c("x")})
+	if r.Distinct(0) != 2 {
+		t.Errorf("Distinct(0) after remove = %d, want 2", r.Distinct(0))
+	}
+	if r.Distinct(1) != 2 {
+		t.Errorf("Distinct(1) after remove = %d, want 2 (x still posted by a,c)", r.Distinct(1))
+	}
+	r.Remove(Tuple{c("a"), c("y")})
+	if r.Distinct(1) != 1 {
+		t.Errorf("Distinct(1) after second remove = %d, want 1", r.Distinct(1))
+	}
+}

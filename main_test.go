@@ -1,0 +1,26 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+// TestMain lets the benchmark harness select the join-order strategy for
+// the whole suite: `PLANNER=greedy go test -bench ...` flips the package
+// default, which every evaluation without an explicit Options.Planner
+// inherits. `make bench-compare` runs the suite once per strategy and
+// benchstats them against each other.
+func TestMain(m *testing.M) {
+	if s := os.Getenv("PLANNER"); s != "" {
+		p, err := eval.ParsePlanner(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		eval.DefaultPlanner = p.Effective()
+	}
+	os.Exit(m.Run())
+}

@@ -32,6 +32,7 @@ package repro
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -99,6 +100,93 @@ type Ontology struct {
 	// ontologies that never delete pay nothing for the graph; the first
 	// deletion pays one rebuild, after which repairs are incremental.
 	wantProv atomic.Bool
+
+	// planEpoch counts snapshot publications (materializations and base
+	// snapshots alike); the compiled-plan cache is keyed to it, so plans
+	// compiled against a retired snapshot are dropped wholesale.
+	planEpoch atomic.Uint64
+	// planCache holds the compiled query plans for the current epoch, keyed
+	// by canonical query string. Server-style workloads re-answering the
+	// same (or α-equivalent) queries hit warm plans and skip the planner.
+	planCache atomic.Pointer[planCache]
+}
+
+// planCache maps canonical query strings to plans compiled against one
+// snapshot generation. Entries additionally pin the exact instance they were
+// compiled for, so a reader still evaluating a just-retired snapshot can
+// never be served plans whose frozen statistics and resolved order belong to
+// a different instance generation.
+type planCache struct {
+	epoch uint64
+	mu    sync.RWMutex
+	m     map[string]*cachedPlans
+}
+
+type cachedPlans struct {
+	ins   *storage.Instance
+	plans []*eval.Plan
+}
+
+// Planner selects the join-order strategy used by query evaluation; see
+// eval.Planner. The zero value resolves to the package default (cost-based).
+type Planner = eval.Planner
+
+// Planner strategies, re-exported for Options and CLI flags.
+const (
+	PlannerDefault = eval.PlannerDefault
+	PlannerGreedy  = eval.PlannerGreedy
+	PlannerCost    = eval.PlannerCost
+)
+
+// ParsePlanner parses a -planner flag value ("greedy" or "cost").
+func ParsePlanner(s string) (Planner, error) { return eval.ParsePlanner(s) }
+
+// evalUCQ evaluates a union over a published snapshot through the
+// compiled-plan cache: the UCQ is compiled once per (canonical query,
+// planner, snapshot) and repeated queries run the cached plans directly.
+func (o *Ontology) evalUCQ(u *query.UCQ, ins *storage.Instance, opts eval.Options) *eval.Answers {
+	return eval.RunPlans(o.compiledPlans(u, ins, opts.Planner), u.Arity(), ins, opts)
+}
+
+// compiledPlans returns the plans for u over ins, from the cache when warm.
+// Lock-free fast path aside from a short read-lock on the epoch's map; a
+// miss compiles outside any lock (compilation only reads the immutable
+// snapshot) and publishes the entry for the next caller.
+func (o *Ontology) compiledPlans(u *query.UCQ, ins *storage.Instance, planner eval.Planner) []*eval.Plan {
+	epoch := o.planEpoch.Load()
+	pc := o.planCache.Load()
+	if pc == nil || pc.epoch != epoch {
+		fresh := &planCache{epoch: epoch, m: make(map[string]*cachedPlans)}
+		if o.planCache.CompareAndSwap(pc, fresh) {
+			pc = fresh
+		} else {
+			pc = o.planCache.Load()
+		}
+	}
+	key := planKey(u, planner)
+	pc.mu.RLock()
+	e := pc.m[key]
+	pc.mu.RUnlock()
+	if e != nil && e.ins == ins {
+		return e.plans
+	}
+	plans := eval.CompileUCQ(u, ins, planner)
+	pc.mu.Lock()
+	pc.m[key] = &cachedPlans{ins: ins, plans: plans}
+	pc.mu.Unlock()
+	return plans
+}
+
+// planKey builds the cache key: the resolved planner strategy plus the
+// canonical (renaming- and body-order-invariant) form of every disjunct.
+func planKey(u *query.UCQ, planner eval.Planner) string {
+	var b strings.Builder
+	b.WriteByte('0' + byte(planner.Effective()))
+	for _, q := range u.CQs {
+		b.WriteByte('\n')
+		b.WriteString(q.DedupKey())
+	}
+	return b.String()
 }
 
 // materialization is the published chase expansion plus the resumable engine
@@ -396,6 +484,7 @@ func (o *Ontology) updateBaseSnapshot(added, removed []logic.Atom, mut uint64) {
 	for _, a := range removed {
 		ins.Remove(a)
 	}
+	o.planEpoch.Add(1)
 	o.base.Store(&baseSnapshot{ins: ins, baseMut: mut})
 }
 
@@ -428,6 +517,7 @@ func (o *Ontology) extendMaterialization(added []logic.Atom, mut uint64) error {
 // and publishes it, bumping the epoch. Requires o.wmu.
 func (o *Ontology) publishMat(ins *storage.Instance, st *chase.State, terminated bool, baseMut uint64, lastSteps, lastRounds int) {
 	o.epoch.Add(1)
+	o.planEpoch.Add(1)
 	o.mat.Store(&materialization{
 		ins:        ins,
 		state:      st,
@@ -458,6 +548,7 @@ func (o *Ontology) snapshotBase() *storage.Instance {
 	ins := o.data.Clone()
 	mut := o.data.Mutations()
 	o.mu.RUnlock()
+	o.planEpoch.Add(1)
 	o.base.Store(&baseSnapshot{ins: ins, baseMut: mut})
 	return ins
 }
@@ -565,6 +656,11 @@ type Options struct {
 	// (0 = the engine default). Exceeding it makes the rewriting incomplete:
 	// ModeRewrite errors, ModeAuto falls back to the chase.
 	MaxRewriteCQs int
+	// Planner selects the join-order strategy for query evaluation and the
+	// chase (PlannerDefault resolves to the cost-based planner; PlannerGreedy
+	// keeps the statistics-free order as a comparison mode). Any value yields
+	// the same answers.
+	Planner Planner
 }
 
 // chaseOptions maps Options onto a (defaulted) chase configuration.
@@ -573,6 +669,7 @@ func (opts Options) chaseOptions() chase.Options {
 		MaxSteps:    opts.MaxSteps,
 		MaxRounds:   opts.MaxRounds,
 		Parallelism: opts.Parallelism,
+		Planner:     opts.Planner,
 	}
 	if co.MaxSteps == 0 {
 		co.MaxSteps = chase.DefaultMaxSteps
@@ -610,7 +707,7 @@ func (o *Ontology) AnswerOptions(querySrc string, opts Options) (*Answers, error
 			mode = ModeChase
 		}
 	}
-	evalOpts := eval.Options{FilterNulls: true, Parallelism: opts.Parallelism}
+	evalOpts := eval.Options{FilterNulls: true, Parallelism: opts.Parallelism, Planner: opts.Planner}
 	switch mode {
 	case ModeRewrite:
 		rw := o.rewriteCQ(q, opts.MaxRewriteCQs)
@@ -625,8 +722,9 @@ func (o *Ontology) AnswerOptions(querySrc string, opts Options) (*Answers, error
 		}
 		// Evaluate over the published base snapshot with no lock held: a
 		// slow evaluation neither blocks writers nor queues other readers
-		// behind them.
-		return eval.UCQ(rw.UCQ, o.snapshotBase(), evalOpts), nil
+		// behind them. Repeated queries rewrite to the same UCQ, so the
+		// compiled plans come from the cache.
+		return o.evalUCQ(rw.UCQ, o.snapshotBase(), evalOpts), nil
 	case ModeChase:
 		return o.answerChase(q, opts, evalOpts)
 	default:
@@ -657,7 +755,7 @@ func (o *Ontology) answerChase(q *query.CQ, opts Options, evalOpts eval.Options)
 		if !m.terminated {
 			return nil, budgetErr(m.lastSteps)
 		}
-		return eval.UCQ(u, m.ins, evalOpts), nil
+		return o.evalUCQ(u, m.ins, evalOpts), nil
 	}
 	o.mu.RLock()
 	ins := o.data.Clone()
@@ -670,14 +768,20 @@ func (o *Ontology) answerChase(q *query.CQ, opts Options, evalOpts eval.Options)
 	// Publish unless the data was mutated out-of-band while we chased (a
 	// legitimate writer cannot have: we hold wmu). Either way, serve our own
 	// build — it is a valid chase of the data as of the clone.
-	if o.data.Mutations() == snapMut {
+	published := o.data.Mutations() == snapMut
+	if published {
 		o.publishMat(ins, st, res.Terminated, snapMut, res.Steps, res.Rounds)
 	}
 	o.wmu.Unlock()
 	if !res.Terminated {
 		return nil, budgetErr(res.Steps)
 	}
-	return eval.UCQ(u, ins, evalOpts), nil
+	if !published {
+		// The instance was never published, so no later query can hit a cache
+		// entry pinning it; compile directly instead of polluting the cache.
+		return eval.RunPlans(eval.CompileUCQ(u, ins, evalOpts.Planner), u.Arity(), ins, evalOpts), nil
+	}
+	return o.evalUCQ(u, ins, evalOpts), nil
 }
 
 // answerFromMat serves the query from the published materialization when it
@@ -691,7 +795,7 @@ func (o *Ontology) answerFromMat(u *query.UCQ, copts chase.Options, evalOpts eva
 	if !m.terminated {
 		return nil, budgetErr(m.lastSteps), true
 	}
-	return eval.UCQ(u, m.ins, evalOpts), nil, true
+	return o.evalUCQ(u, m.ins, evalOpts), nil, true
 }
 
 func budgetErr(steps int) error {

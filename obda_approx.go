@@ -116,7 +116,7 @@ func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, e
 		// Exact via rewriting; evaluating over the published base snapshot
 		// suffices and the chase need not run at all. No lock held.
 		return &Approx{
-			Answers:           eval.UCQ(rw.UCQ, o.snapshotBase(), eval.Options{FilterNulls: true}),
+			Answers:           o.evalUCQ(rw.UCQ, o.snapshotBase(), eval.Options{FilterNulls: true}),
 			Exact:             true,
 			RewritingComplete: true,
 			QueryRewritable:   true,
@@ -127,7 +127,7 @@ func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, e
 	// needed, no lock held.
 	if m := o.mat.Load(); m != nil && m.terminated && m.baseMut == o.data.Mutations() {
 		return &Approx{
-			Answers:         eval.UCQ(query.MustNewUCQ(q), m.ins, eval.Options{FilterNulls: true}),
+			Answers:         o.evalUCQ(query.MustNewUCQ(q), m.ins, eval.Options{FilterNulls: true}),
 			Exact:           true,
 			ChaseTerminated: true,
 		}, nil
