@@ -9,6 +9,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -522,6 +523,158 @@ func BenchmarkDeleteFact(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- R1: live ontology evolution ------------------------------------------
+
+// BenchmarkAddRule compares extending a published materialization with a
+// freshly added rule — AddRule resumes the chase with the whole instance as
+// the delta against only the new rule — versus re-chasing the whole
+// instance from scratch with the grown rule set. Each iteration adds one
+// rule deriving a fresh predicate from the undergraduate population; the
+// delta-steps metric shows the incremental arm's work is the new rule's
+// firings alone.
+func BenchmarkAddRule(b *testing.B) {
+	rules := datagen.University()
+	const q = `q(X) :- person(X) .`
+	b.Run("incremental", func(b *testing.B) {
+		ont := MustParse(rules.String() + "\n" + datagen.UniversityData(16, 1).String())
+		if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ont.AddRule(fmt.Sprintf("undergraduateStudent(X) -> cohort%d(X) .", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(ont.MaterializationStats().LastSteps), "delta-steps")
+	})
+	b.Run("re-chase", func(b *testing.B) {
+		data := datagen.UniversityData(16, 1)
+		set := rules
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rule, err := parser.ParseRule(fmt.Sprintf("undergraduateStudent(X) -> cohort%d(X) .", i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if set, err = set.WithRule(rule); err != nil {
+				b.Fatal(err)
+			}
+			if res := chase.Run(set, data, chase.Options{}); !res.Terminated {
+				b.Fatal("chase failed")
+			}
+		}
+	})
+}
+
+// BenchmarkRemoveRule compares DRed-style rule removal — over-delete every
+// fact whose provenance cites the rule, re-derive survivors — against
+// re-chasing the shrunk rule set from scratch. Each iteration removes a rule
+// added (untimed) just before it.
+func BenchmarkRemoveRule(b *testing.B) {
+	rules := datagen.University()
+	const q = `q(X) :- person(X) .`
+	b.Run("incremental", func(b *testing.B) {
+		ont := MustParse(rules.String() + "\n" + datagen.UniversityData(16, 1).String())
+		// Prime provenance recording so removals repair instead of rebuild.
+		if err := ont.AddFact(`undergraduateStudent(primer) .`); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ont.DeleteFact(`undergraduateStudent(primer) .`); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if err := ont.AddRule(fmt.Sprintf("undergraduateStudent(X) -> cohort%d(X) .", i)); err != nil {
+				b.Fatal(err)
+			}
+			label := ont.Rules().Rules[ont.Rules().Len()-1].Label
+			b.StartTimer()
+			if err := ont.RemoveRule(label); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(ont.MaterializationStats().LastSteps), "delta-steps")
+	})
+	b.Run("re-chase", func(b *testing.B) {
+		data := datagen.UniversityData(16, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			rule, err := parser.ParseRule(fmt.Sprintf("undergraduateStudent(X) -> cohort%d(X) .", i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			grown, err := datagen.University().WithRule(rule)
+			if err != nil {
+				b.Fatal(err)
+			}
+			shrunk, err := grown.WithoutRule(grown.Len() - 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if res := chase.Run(shrunk, data, chase.Options{}); !res.Terminated {
+				b.Fatal("chase failed")
+			}
+		}
+	})
+}
+
+// BenchmarkProvenanceMemory measures what the generational compaction sweep
+// reclaims: each iteration is one AddFact/DeleteFact cycle with automatic
+// compaction off, so dead derivations accumulate exactly as they would in a
+// long-lived serving process; at the end one sweep runs and the metrics
+// report the derivations dropped and the heap bytes freed.
+func BenchmarkProvenanceMemory(b *testing.B) {
+	ont := MustParse(datagen.University().String() + "\n" + datagen.UniversityData(8, 1).String())
+	ont.SetCompactEvery(0) // accumulate; sweep manually below
+	const q = `q(X) :- person(X) .`
+	if err := ont.AddFact(`undergraduateStudent(primer) .`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ont.DeleteFact(`undergraduateStudent(primer) .`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ont.AnswerMode(q, ModeChase); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ont.AddFact(fmt.Sprintf("undergraduateStudent(churn%d) .", i)); err != nil {
+			b.Fatal(err)
+		}
+		if n, err := ont.DeleteFact(fmt.Sprintf("undergraduateStudent(churn%d) .", i)); err != nil || n != 1 {
+			b.Fatalf("delete churn%d: n=%d err=%v", i, n, err)
+		}
+	}
+	b.StopTimer()
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	dropped := ont.CompactProvenance()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	b.ReportMetric(float64(dropped), "derivs-dropped")
+	if before.HeapAlloc > after.HeapAlloc {
+		b.ReportMetric(float64(before.HeapAlloc-after.HeapAlloc), "bytes-freed")
+	} else {
+		b.ReportMetric(0, "bytes-freed")
+	}
 }
 
 // BenchmarkSnapshotContention measures chase-mode answering under writer

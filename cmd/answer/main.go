@@ -35,7 +35,9 @@ func main() {
 	maxRounds := flag.Int("max-rounds", 0, "chase fair-round budget (0 = default 1000)")
 	add := flag.String("add", "", "facts (program text) to AddFact after the first answer, then re-answer")
 	del := flag.String("delete", "", "facts (program text) to DeleteFact after the first answer (and any -add), then re-answer")
-	incremental := flag.Bool("incremental", true, "with -add/-delete: maintain the published materialization incrementally (false = rebuild the ontology from scratch)")
+	addRule := flag.String("add-rule", "", "a TGD (rule text) to AddRule after the first answer, then re-answer")
+	dropRule := flag.String("drop-rule", "", "label of a rule (e.g. R2) to RemoveRule after the first answer, then re-answer")
+	incremental := flag.Bool("incremental", true, "with -add/-delete/-add-rule/-drop-rule: maintain the published materialization incrementally (false = rebuild the ontology from scratch)")
 	flag.Parse()
 	if *rulesPath == "" || *querySrc == "" {
 		fmt.Fprintln(os.Stderr, "usage: answer -rules FILE [-data FILE] -query 'q(X) :- ... .' [-mode M] [-add 'f(a) .']")
@@ -70,13 +72,14 @@ func main() {
 			st.Epoch, st.Facts, st.Steps, st.Rounds)
 	}
 
-	if *add == "" && *del == "" {
+	if *add == "" && *del == "" && *addRule == "" && *dropRule == "" {
 		return
 	}
 	if !*incremental {
 		// From-scratch comparison path: a fresh ontology re-chases
 		// everything on the next answer (DeleteFact on it only touches the
-		// base data; there is no materialization to repair).
+		// base data; rule mutations on it just swap the set, with no
+		// materialization to repair).
 		ont = load(*rulesPath, *dataPath)
 	}
 	if *add != "" {
@@ -90,6 +93,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "deleted %d base facts\n", n)
+	}
+	if *addRule != "" {
+		if err := ont.AddRule(*addRule); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "added rule; set now has %d rules\n", ont.Rules().Len())
+	}
+	if *dropRule != "" {
+		if err := ont.RemoveRule(*dropRule); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "removed rule %s; set now has %d rules\n", *dropRule, ont.Rules().Len())
 	}
 	ans, err = ont.AnswerOptions(*querySrc, opts)
 	if err != nil {

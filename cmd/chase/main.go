@@ -36,10 +36,12 @@ func main() {
 	planner := flag.String("planner", "cost", "join-order strategy for rule bodies: greedy | cost")
 	add := flag.String("add", "", "extra facts (program text) to fold in after the initial chase")
 	del := flag.String("delete", "", "facts (program text) to delete after the initial chase")
-	incremental := flag.Bool("incremental", false, "with -add/-delete: maintain the chased instance incrementally instead of re-chasing")
+	addRule := flag.String("add-rule", "", "a TGD (rule text, e.g. 'p(X) -> q(X) .') to add after the initial chase")
+	dropRule := flag.String("drop-rule", "", "label of a rule (e.g. R2) to remove after the initial chase")
+	incremental := flag.Bool("incremental", false, "with -add/-delete/-add-rule/-drop-rule: maintain the chased instance incrementally instead of re-chasing")
 	flag.Parse()
 	if *rulesPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: chase -rules FILE [-data FILE] [-oblivious] [-add 'f(a) .' [-incremental]]")
+		fmt.Fprintln(os.Stderr, "usage: chase -rules FILE [-data FILE] [-oblivious] [-add 'f(a) .'] [-delete 'f(a) .'] [-add-rule 'p(X) -> q(X) .'] [-drop-rule R2] [-incremental]")
 		os.Exit(2)
 	}
 	prog, err := parser.ParseFile(*rulesPath)
@@ -75,15 +77,16 @@ func main() {
 	if *oblivious {
 		opts.Variant = chase.Oblivious
 	}
-	// Incremental deletion walks the engine's derivation provenance.
-	opts.TrackProvenance = *del != "" && *incremental
+	// Incremental deletion (of facts or of a rule's contribution) walks the
+	// engine's derivation provenance.
+	opts.TrackProvenance = (*del != "" || *dropRule != "") && *incremental
 
 	st := chase.NewState(opts)
 	ins := data.Clone()
 	res := st.Resume(set, ins, ins)
 	report(opts, "initial", res, ins)
 
-	if (*add != "" || *del != "") && *incremental && !res.Terminated {
+	if (*add != "" || *del != "" || *addRule != "" || *dropRule != "") && *incremental && !res.Terminated {
 		// Maintaining a truncated chase is unsound (dropped triggers are
 		// never reconsidered); re-chase the full input instead.
 		fmt.Fprintln(os.Stderr, "initial chase truncated; -incremental is unsound, re-chasing from scratch")
@@ -144,6 +147,53 @@ func main() {
 			ins = res.Instance
 			report(opts, "re-chase", res, ins)
 		}
+	}
+	if *addRule != "" {
+		rule, err := parser.ParseRule(*addRule)
+		if err != nil {
+			fatal(err)
+		}
+		next, err := set.WithRule(rule)
+		if err != nil {
+			fatal(err)
+		}
+		// Gate on the engine state, not just the latest result: an earlier
+		// truncated increment poisons st even after a re-chase refreshed res.
+		if *incremental && res.Terminated && !st.Truncated() {
+			// Resume with the whole instance as delta against the new rule only.
+			res = st.ExtendRules(next, ins, set.Len())
+			report(opts, "incremental add-rule", res, ins)
+		} else {
+			res = chase.Run(next, data, opts)
+			ins = res.Instance
+			report(opts, "re-chase (add-rule)", res, ins)
+		}
+		set = next
+	}
+	if *dropRule != "" {
+		ri := set.IndexOfLabel(*dropRule)
+		if ri < 0 {
+			fatal(fmt.Errorf("no rule labeled %q (have: %d rules)", *dropRule, set.Len()))
+		}
+		next, err := set.WithoutRule(ri)
+		if err != nil {
+			fatal(err)
+		}
+		if *incremental && res.Terminated && !st.Truncated() {
+			dres, err := st.DeleteRule(next, ins, ri, data)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dred rule %s: removed=%d over-deleted=%d rederived=%d\n",
+				*dropRule, dres.Requested, dres.OverDeleted, dres.Rederived)
+			res = dres.Result
+			report(opts, "incremental drop-rule", res, ins)
+		} else {
+			res = chase.Run(next, data, opts)
+			ins = res.Instance
+			report(opts, "re-chase (drop-rule)", res, ins)
+		}
+		set = next
 	}
 	fmt.Println(ins)
 }

@@ -276,10 +276,23 @@ student(bob) .
 // previously readers held the RWMutex across the whole evaluation, so one
 // queued writer stalled every later reader. The test simulates a writer
 // parked mid-mutation by holding o.mu for writing and requires concurrent
-// answers to finish anyway.
+// answers to finish anyway — and, since PR 5, rule mutations too: AddRule
+// and RemoveRule repair the materialization copy-on-write without ever
+// touching the data lock, so ontology evolution neither waits for fact
+// writers nor stalls a single reader.
 func TestAnswersDoNotBlockBehindWriters(t *testing.T) {
 	ont := MustParse(datagen.University().String() + "\n" + datagen.UniversityData(2, 1).String())
 	const q = `q(X) :- person(X) .`
+	// Prime provenance recording so the rule mutation below repairs the
+	// published materialization incrementally instead of dropping it — a
+	// dropped cache would force the racing readers into a cold rebuild,
+	// which (correctly) waits for the data lock.
+	if err := ont.AddFact(`undergraduateStudent(primer) .`); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ont.DeleteFact(`undergraduateStudent(primer) .`); err != nil || n != 1 {
+		t.Fatalf("priming delete: n=%d err=%v", n, err)
+	}
 	// Publish both snapshots before locking the writers out.
 	if _, err := ont.AnswerMode(q, ModeChase); err != nil {
 		t.Fatal(err)
@@ -290,7 +303,8 @@ func TestAnswersDoNotBlockBehindWriters(t *testing.T) {
 
 	ont.mu.Lock() // a writer parked mid-mutation
 	defer ont.mu.Unlock()
-	done := make(chan error, 4)
+	const tasks = 6
+	done := make(chan error, tasks)
 	for _, mode := range []AnswerMode{ModeChase, ModeRewrite, ModeChase, ModeRewrite} {
 		mode := mode
 		go func() {
@@ -298,15 +312,29 @@ func TestAnswersDoNotBlockBehindWriters(t *testing.T) {
 			done <- err
 		}()
 	}
+	// A full rule-mutation cycle must also complete: it repairs the
+	// published materialization without the data lock.
+	go func() {
+		if err := ont.AddRule(`department(X) -> organization(X) .`); err != nil {
+			done <- err
+			return
+		}
+		done <- ont.RemoveRule(ont.Rules().Rules[ont.Rules().Len()-1].Label)
+	}()
+	// And readers racing that rule mutation must not block either.
+	go func() {
+		_, err := ont.AnswerMode(q, ModeChase)
+		done <- err
+	}()
 	timeout := time.After(10 * time.Second)
-	for i := 0; i < 4; i++ {
+	for i := 0; i < tasks; i++ {
 		select {
 		case err := <-done:
 			if err != nil {
 				t.Error(err)
 			}
 		case <-timeout:
-			t.Fatal("reader stalled behind a writer holding the data lock")
+			t.Fatal("reader or rule mutator stalled behind a writer holding the data lock")
 		}
 	}
 }

@@ -16,7 +16,7 @@ import (
 func TestFullPipelineUniversity(t *testing.T) {
 	rules := datagen.University()
 	data := datagen.UniversityData(2, 5)
-	ont := &Ontology{rules: rules, data: data}
+	ont := newOntology(rules, data)
 
 	rep := ont.Classify()
 	if !rep.FORewritable || !rep.Is("wr") {
@@ -110,8 +110,8 @@ exists manages- <= Team
 // databases — the essence of FO-rewritability (compile once, run anywhere).
 func TestRewritingIsDataIndependent(t *testing.T) {
 	rules := datagen.University()
-	ont1 := &Ontology{rules: rules, data: datagen.UniversityData(1, 1)}
-	ont2 := &Ontology{rules: rules, data: datagen.UniversityData(5, 99)}
+	ont1 := newOntology(rules, datagen.UniversityData(1, 1))
+	ont2 := newOntology(rules, datagen.UniversityData(5, 99))
 	rw1, err := ont1.Rewrite(`q(X) :- faculty(X) .`)
 	if err != nil {
 		t.Fatal(err)

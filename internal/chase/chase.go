@@ -131,33 +131,85 @@ type trigger struct {
 // every round and every delta fact: per (rule, body atom) a delta plan that
 // pins that atom to a delta tuple and joins the rest, and per rule a
 // head-satisfaction plan seeded by the distinguished variables. Statistics
-// are frozen at compile time — relations grown by later rounds keep the
-// order, which affects only speed, never the computed fixpoint.
+// are frozen at compile time — a relation that merely grows keeps the order
+// (only speed is affected, never the computed fixpoint) — except that a
+// relation transitioning empty→non-empty between rounds re-costs the rules
+// reading it (refresh): an order costed against an empty relation is
+// arbitrary, and later-round relations routinely start empty.
 type planSet struct {
 	delta [][]*eval.Plan // [rule][bodyAtom]
 	slots [][][]int      // [rule][bodyAtom] → register slot of each BodyVars()[k]
 	head  []*eval.Plan   // [rule]
+	// emptyReads[rule] lists the distinct relations the rule's plans read
+	// (body and head) that were empty at compile time — the watch list for
+	// refresh. Emptied lazily as transitions are consumed.
+	emptyReads [][]string
+	planner    eval.Planner
 }
 
 // newPlanSet compiles the rule set against the instance.
 func newPlanSet(rules *dependency.Set, ins *storage.Instance, planner eval.Planner) *planSet {
+	n := len(rules.Rules)
 	ps := &planSet{
-		delta: make([][]*eval.Plan, len(rules.Rules)),
-		slots: make([][][]int, len(rules.Rules)),
-		head:  make([]*eval.Plan, len(rules.Rules)),
+		delta:      make([][]*eval.Plan, n),
+		slots:      make([][][]int, n),
+		head:       make([]*eval.Plan, n),
+		emptyReads: make([][]string, n),
+		planner:    planner,
 	}
 	for ri, rule := range rules.Rules {
-		bodyVars := rule.BodyVars()
-		ps.delta[ri] = make([]*eval.Plan, len(rule.Body))
-		ps.slots[ri] = make([][]int, len(rule.Body))
-		for bi := range rule.Body {
-			p := eval.CompileDelta(rule.Body, bi, ins, planner)
-			ps.delta[ri][bi] = p
-			ps.slots[ri][bi] = p.Slots(bodyVars)
-		}
-		ps.head[ri] = eval.CompileBody(rule.Head, ins, rule.Distinguished(), planner)
+		ps.compileRule(ri, rule, ins)
 	}
 	return ps
+}
+
+// compileRule (re)compiles one rule's delta and head plans against the
+// instance and records which of the relations it reads are still empty.
+func (ps *planSet) compileRule(ri int, rule *dependency.TGD, ins *storage.Instance) {
+	bodyVars := rule.BodyVars()
+	ps.delta[ri] = make([]*eval.Plan, len(rule.Body))
+	ps.slots[ri] = make([][]int, len(rule.Body))
+	for bi := range rule.Body {
+		p := eval.CompileDelta(rule.Body, bi, ins, ps.planner)
+		ps.delta[ri][bi] = p
+		ps.slots[ri][bi] = p.Slots(bodyVars)
+	}
+	ps.head[ri] = eval.CompileBody(rule.Head, ins, rule.Distinguished(), ps.planner)
+
+	var empty []string
+	seen := make(map[string]bool)
+	for _, a := range append(append([]logic.Atom{}, rule.Body...), rule.Head...) {
+		if seen[a.Pred] {
+			continue
+		}
+		seen[a.Pred] = true
+		if rel := ins.Relation(a.Pred); rel == nil || rel.Len() == 0 {
+			empty = append(empty, a.Pred)
+		}
+	}
+	ps.emptyReads[ri] = empty
+}
+
+// refresh re-costs the plans of every rule for which a watched relation
+// transitioned empty→non-empty since compilation, returning how many rules
+// were re-planned. Runs at the round barrier, where no plan runners are in
+// flight; the recompiled plans pick up both fresh statistics and genuine
+// access paths for the newly populated relation.
+func (ps *planSet) refresh(rules *dependency.Set, ins *storage.Instance) int {
+	n := 0
+	for ri, watch := range ps.emptyReads {
+		if len(watch) == 0 {
+			continue
+		}
+		for _, pred := range watch {
+			if rel := ins.Relation(pred); rel != nil && rel.Len() > 0 {
+				ps.compileRule(ri, rules.Rules[ri], ins)
+				n++
+				break
+			}
+		}
+	}
+	return n
 }
 
 // headSatisfied is the restricted-chase applicability test on the compiled
@@ -199,14 +251,19 @@ func Run(rules *dependency.Set, data *storage.Instance, opts Options) *Result {
 // per delta fact; frontiers and their keys are read straight out of the
 // register file and a Subst is materialized only for genuinely new bindings.
 // Bindings found through several delta atoms are deduplicated at the merge,
-// preserving task order so the sequential path stays deterministic.
-func collectTriggers(rules *dependency.Set, ins, delta *storage.Instance, workers int, ps *planSet) []trigger {
+// preserving task order so the sequential path stays deterministic. from
+// restricts collection to rules with index ≥ from (0 = all): the AddRule
+// maintenance round only re-examines the instance against the new rules.
+func collectTriggers(rules *dependency.Set, ins, delta *storage.Instance, workers int, ps *planSet, from int) []trigger {
 	type task struct {
 		rule int
 		atom int
 	}
 	var tasks []task
 	for ri, rule := range rules.Rules {
+		if ri < from {
+			continue
+		}
 		for bi, a := range rule.Body {
 			if rel := delta.Relation(a.Pred); rel != nil && rel.Arity() == a.Arity() {
 				tasks = append(tasks, task{rule: ri, atom: bi})
@@ -338,6 +395,20 @@ func triggerKey(rule int, frontier logic.Subst, vars []logic.Term) string {
 	p := strconv.AppendInt(prefix[:0], int64(rule), 10)
 	p = append(p, 0)
 	return buildKey(p, frontier, vars)
+}
+
+// splitTriggerKey splits a semi-oblivious trigger key into its rule index
+// and the binding suffix (the separating NUL stays with the suffix).
+func splitTriggerKey(k string) (int, string) {
+	i := strings.IndexByte(k, 0)
+	n, _ := strconv.Atoi(k[:i])
+	return n, k[i:]
+}
+
+// joinTriggerKey re-prefixes a trigger-key suffix with a rule index — the
+// inverse of splitTriggerKey, used when rule removal shifts indices down.
+func joinTriggerKey(rule int, suffix string) string {
+	return strconv.Itoa(rule) + suffix
 }
 
 // regsKey is bindingKey read straight from a plan's register file: same

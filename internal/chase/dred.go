@@ -33,10 +33,12 @@ import (
 	"repro/internal/storage"
 )
 
-// DeleteResult describes one incremental deletion pass.
+// DeleteResult describes one incremental deletion pass — of base facts
+// (Delete) or of a whole rule's contribution (DeleteRule).
 type DeleteResult struct {
-	// Requested counts the facts named by the caller that were present and
-	// removed (absent facts are no-ops).
+	// Requested counts the facts removed directly: for Delete, the facts
+	// named by the caller that were present (absent facts are no-ops); for
+	// DeleteRule, the outputs of the removed rule's firings.
 	Requested int
 	// OverDeleted counts the additional facts removed by the closure sweep.
 	OverDeleted int
@@ -69,19 +71,12 @@ type DeleteResult struct {
 // from scratch instead. ins must be the instance this state materialized,
 // possibly behind storage.ExtendClone.
 func (st *State) Delete(rules *dependency.Set, ins *storage.Instance, facts []logic.Atom, base *storage.Instance) (*DeleteResult, error) {
-	if st.prov == nil {
-		return nil, fmt.Errorf("chase: Delete needs a state built with Options.TrackProvenance")
-	}
-	if st.truncated {
-		return nil, fmt.Errorf("chase: cannot delete from a truncated chase; rebuild from scratch")
+	if err := st.repairable(); err != nil {
+		return nil, err
 	}
 	res := &DeleteResult{Result: &Result{Instance: ins, Terminated: true}}
 
-	// Over-deletion sweep: remove the requested facts, then walk consumer
-	// edges breadth-first removing everything derived through a removed
-	// fact. Dead derivations are marked so later deletions skip them, and
-	// semi-oblivious trigger memory is cleared for every firing that either
-	// consumed or produced a removed fact, so re-derivation may re-fire it.
+	// Seed the over-deletion with the requested facts themselves.
 	removed := make(map[string]bool)
 	var queue []logic.Atom
 	for _, f := range facts {
@@ -97,6 +92,88 @@ func (st *State) Delete(rules *dependency.Set, ins *storage.Instance, facts []lo
 	if res.Requested == 0 {
 		return res, nil
 	}
+	queue = st.overDelete(ins, base, queue, removed, res)
+	st.rederive(rules, ins, queue, removed, res)
+	return res, nil
+}
+
+// DeleteRule removes one rule's contribution from a maintained chase — the
+// maintenance step behind Ontology.RemoveRule. rules is the SURVIVING set and
+// ri the removed rule's index in the previous set (surviving rules keep their
+// order; indices beyond ri shift down by one).
+//
+// Over-deletion here is rule-keyed rather than fact-keyed: every derivation
+// whose provenance cites rule ri is marked dead and its outputs removed
+// (base facts are guarded exactly as in Delete), then the derived closure of
+// those facts is over-deleted through the consumer edges. Stored rule
+// indices — provenance derivations and semi-oblivious fired-memory keys —
+// are remapped to the shrunk set, and survivors are re-derived against the
+// surviving rules and propagated semi-naively. DeleteResult.Requested counts
+// the facts removed directly from the rule's firings, OverDeleted the
+// closure beyond them; the work is proportional to the removed rule's
+// contribution, not to the instance.
+func (st *State) DeleteRule(rules *dependency.Set, ins *storage.Instance, ri int, base *storage.Instance) (*DeleteResult, error) {
+	if err := st.repairable(); err != nil {
+		return nil, err
+	}
+	res := &DeleteResult{Result: &Result{Instance: ins, Terminated: true}}
+
+	// Rule-keyed over-deletion seed: kill every firing of the removed rule
+	// and take its outputs out of the instance.
+	removed := make(map[string]bool)
+	var queue []logic.Atom
+	for di := range st.prov.derivs {
+		d := &st.prov.derivs[di]
+		if d.dead || d.rule != ri {
+			continue
+		}
+		st.markDead(d)
+		for _, h := range d.heads {
+			if base != nil && base.ContainsAtom(h) {
+				continue // still a base fact; needs no derivation
+			}
+			if hk := h.Key(); !removed[hk] && ins.Remove(h) {
+				removed[hk] = true
+				queue = append(queue, h)
+				res.Requested++
+			}
+		}
+	}
+	// The set shrank: shift every stored rule index past ri down by one so
+	// provenance and fired memory keep meaning the same rules. Must happen
+	// before re-derivation, which records new derivations under new indices.
+	st.remapRuleIndices(ri)
+	if len(queue) == 0 {
+		return res, nil
+	}
+	queue = st.overDelete(ins, base, queue, removed, res)
+	st.rederive(rules, ins, queue, removed, res)
+	return res, nil
+}
+
+// repairable reports whether the state can run an incremental DRed repair:
+// it must record provenance and must not have truncated (a truncated chase
+// dropped triggers that deletion cannot reconsider).
+func (st *State) repairable() error {
+	if st.prov == nil {
+		return fmt.Errorf("chase: incremental deletion needs a state built with Options.TrackProvenance")
+	}
+	if st.truncated {
+		return fmt.Errorf("chase: cannot repair a truncated chase; rebuild from scratch")
+	}
+	return nil
+}
+
+// overDelete is the closure sweep shared by Delete and DeleteRule: walk
+// consumer edges breadth-first from the already-removed facts in queue,
+// removing everything derived through a removed fact. Dead derivations are
+// marked (and counted for the compaction sweep) so later deletions skip
+// them, and semi-oblivious trigger memory is cleared for every firing that
+// either consumed or produced a removed fact, so re-derivation may re-fire
+// it. Facts still present in base are never removed — a base fact needs no
+// derivation. Returns the full removed queue for the re-derivation sweep;
+// res.OverDeleted counts the facts removed beyond the initial seeds.
+func (st *State) overDelete(ins, base *storage.Instance, queue []logic.Atom, removed map[string]bool, res *DeleteResult) []logic.Atom {
 	for qi := 0; qi < len(queue); qi++ {
 		fk := queue[qi].Key()
 		if st.prov.producers != nil {
@@ -112,10 +189,7 @@ func (st *State) Delete(rules *dependency.Set, ins *storage.Instance, facts []lo
 			if d.dead {
 				continue
 			}
-			d.dead = true
-			if d.trigger != "" {
-				delete(st.fired, d.trigger)
-			}
+			st.markDead(d)
 			for _, h := range d.heads {
 				if base != nil && base.ContainsAtom(h) {
 					continue // still a base fact; needs no derivation
@@ -129,13 +203,19 @@ func (st *State) Delete(rules *dependency.Set, ins *storage.Instance, facts []lo
 		}
 		delete(st.prov.consumers, fk)
 	}
+	return queue
+}
 
-	// Re-derivation sweep, seeded by the removed facts: any trigger the
-	// deletion could have unsuppressed must produce (or have had its head
-	// satisfied by) a removed fact, so unifying rule heads with removed
-	// facts and joining the body from that seed enumerates every candidate
-	// without touching the unaffected part of the instance.
-	cands := st.collectRederiveTriggers(rules, ins, queue)
+// rederive is the re-derivation sweep shared by Delete and DeleteRule,
+// seeded by the removed facts: any trigger the deletion could have
+// unsuppressed must produce (or have had its head satisfied by) a removed
+// fact, so unifying rule heads with removed facts and joining the body from
+// that seed enumerates every candidate without touching the unaffected part
+// of the instance. Survivor triggers re-fire under the usual variant
+// discipline and their consequences propagate through an ordinary
+// semi-naive Resume; res.Result describes the whole increment.
+func (st *State) rederive(rules *dependency.Set, ins *storage.Instance, removedFacts []logic.Atom, removed map[string]bool, res *DeleteResult) {
+	cands := st.collectRederiveTriggers(rules, ins, removedFacts)
 	delta := storage.NewInstance()
 	steps, nulls := 0, 0
 	for _, tr := range cands {
@@ -187,7 +267,40 @@ func (st *State) Delete(rules *dependency.Set, ins *storage.Instance, facts []lo
 		Rounds:       rres.Rounds,
 		NullsCreated: rres.NullsCreated + nulls,
 	}
-	return res, nil
+}
+
+// remapRuleIndices rewrites every stored rule index after the rule at ri was
+// removed from the set: provenance derivations and semi-oblivious fired
+// memory for rules beyond ri shift down by one (their trigger keys embed the
+// index, so the keys are re-prefixed), and fired entries of ri itself are
+// dropped. One pass over the graph and the fired map — rule removal is rare
+// next to fact maintenance.
+func (st *State) remapRuleIndices(ri int) {
+	for di := range st.prov.derivs {
+		d := &st.prov.derivs[di]
+		if d.rule > ri {
+			d.rule--
+			if d.trigger != "" {
+				_, suffix := splitTriggerKey(d.trigger)
+				d.trigger = joinTriggerKey(d.rule, suffix)
+			}
+		}
+	}
+	if st.fired == nil {
+		return
+	}
+	nf := make(map[string]bool, len(st.fired))
+	for k, v := range st.fired {
+		idx, suffix := splitTriggerKey(k)
+		switch {
+		case idx == ri: // the removed rule's memory: drop
+		case idx > ri:
+			nf[joinTriggerKey(idx-1, suffix)] = v
+		default:
+			nf[k] = v
+		}
+	}
+	st.fired = nf
 }
 
 // collectRederiveTriggers enumerates, deduplicated, every trigger whose

@@ -27,6 +27,7 @@ type State struct {
 	steps     int
 	rounds    int
 	nulls     int
+	replans   int
 	truncated bool
 }
 
@@ -51,6 +52,11 @@ type provenance struct {
 	derivs    []derivation
 	consumers map[string][]int
 	producers map[string][]int // nil when Restricted
+	// dead counts derivations marked dead by deletions; the generational
+	// compaction sweep (State.CompactProvenance) reclaims them.
+	dead int
+	// compactions counts completed sweeps, for observability.
+	compactions int
 }
 
 // add appends a derivation and indexes its edges.
@@ -113,6 +119,76 @@ func (st *State) TotalRounds() int { return st.rounds }
 
 // TotalNulls returns the labelled nulls invented across all Resume calls.
 func (st *State) TotalNulls() int { return st.nulls }
+
+// TotalReplans returns how many times a rule's compiled plans were re-costed
+// mid-fixpoint because a relation they read transitioned empty→non-empty
+// (see planSet.refresh).
+func (st *State) TotalReplans() int { return st.replans }
+
+// ProvenanceStats reports the size of the derivation graph: total recorded
+// derivations, how many are dead (reclaimable by CompactProvenance), and how
+// many compaction sweeps have run. All zero when provenance is off.
+func (st *State) ProvenanceStats() (derivs, dead, compactions int) {
+	if st.prov == nil {
+		return 0, 0, 0
+	}
+	return len(st.prov.derivs), st.prov.dead, st.prov.compactions
+}
+
+// CompactProvenance reclaims dead derivations: deletions (DRed fact and rule
+// repairs) mark the derivations they invalidate dead rather than splicing
+// them out, so over a long-lived serving process the graph would otherwise
+// grow without bound. The sweep rebuilds the derivation slice and both edge
+// indexes from the live generation only, returning the number of derivations
+// dropped. Callers serialize it with other maintenance (Ontology runs it
+// under its writer lock, automatically every N mutations).
+func (st *State) CompactProvenance() (dropped int) {
+	p := st.prov
+	if p == nil || p.dead == 0 {
+		return 0
+	}
+	live := make([]derivation, 0, len(p.derivs)-p.dead)
+	for _, d := range p.derivs {
+		if !d.dead {
+			live = append(live, d)
+		}
+	}
+	dropped = len(p.derivs) - len(live)
+	p.derivs = live
+	p.consumers = make(map[string][]int, len(p.consumers))
+	if p.producers != nil {
+		p.producers = make(map[string][]int, len(p.producers))
+	}
+	for di := range live {
+		d := &live[di]
+		for _, bk := range d.body {
+			p.consumers[bk] = append(p.consumers[bk], di)
+		}
+		if p.producers != nil {
+			for _, h := range d.heads {
+				hk := h.Key()
+				p.producers[hk] = append(p.producers[hk], di)
+			}
+		}
+	}
+	p.dead = 0
+	p.compactions++
+	return dropped
+}
+
+// markDead invalidates a derivation: it is skipped by future provenance
+// traversals, reclaimed by the next CompactProvenance sweep, and its
+// semi-oblivious fired-memory entry is cleared so the trigger may re-fire.
+func (st *State) markDead(d *derivation) {
+	if d.dead {
+		return
+	}
+	d.dead = true
+	st.prov.dead++
+	if d.trigger != "" {
+		delete(st.fired, d.trigger)
+	}
+}
 
 // Truncated reports whether any Resume call hit its budget; when true the
 // instance is a sound but incomplete approximation and incremental
@@ -194,6 +270,30 @@ func (st *State) newDerivation(rules *dependency.Set, tr trigger) derivation {
 // count the increment); cumulative totals live on the State. Budgets apply
 // per call.
 func (st *State) Resume(rules *dependency.Set, ins, delta *storage.Instance) *Result {
+	return st.resume(rules, ins, delta, 0)
+}
+
+// ExtendRules resumes the chase after rules were appended to the set (the
+// AddRule maintenance step): the first round considers only the new rules —
+// those at index firstNew and beyond — with the whole instance as the delta,
+// since every existing fact is "new" to a rule that has never seen any.
+// Their consequences then propagate through the full set semi-naively, so
+// the work is proportional to what the new rules actually derive, not to a
+// re-chase of the instance. The existing rules need no first-round pass: the
+// instance is already their fixpoint. Unsound after a truncated run, exactly
+// like Extend.
+func (st *State) ExtendRules(rules *dependency.Set, ins *storage.Instance, firstNew int) *Result {
+	if firstNew >= rules.Len() {
+		return &Result{Instance: ins, Terminated: true} // no new rules
+	}
+	return st.resume(rules, ins, ins, firstNew)
+}
+
+// resume is the shared fixpoint driver. onlyFrom restricts the FIRST round's
+// trigger collection to rules with index ≥ onlyFrom (0 = all rules); later
+// rounds always consider the whole set, which is what makes the restriction
+// sound — anything the filtered round derives is re-examined by every rule.
+func (st *State) resume(rules *dependency.Set, ins, delta *storage.Instance, onlyFrom int) *Result {
 	opts := st.opts
 	res := &Result{Instance: ins}
 	workers := opts.Parallelism
@@ -213,8 +313,11 @@ func (st *State) Resume(rules *dependency.Set, ins, delta *storage.Instance) *Re
 	// Compile every rule body and head once for this Resume call; the plans
 	// (atom order, access paths, register micro-programs) are reused across
 	// all rounds and all delta facts. Column statistics are read from the
-	// instance as of now — later rounds may grow relations, which can only
-	// make the frozen order suboptimal, never wrong.
+	// instance as of now — relations that grow later keep the order (only
+	// speed is affected), except that a relation transitioning empty→
+	// non-empty re-costs the rules reading it at the round barrier
+	// (planSet.refresh): an order chosen when the relation was empty is
+	// arbitrary, not merely stale.
 	ins.EnsureIndexes()
 	plans := newPlanSet(rules, ins, opts.Planner)
 
@@ -225,7 +328,8 @@ func (st *State) Resume(rules *dependency.Set, ins, delta *storage.Instance) *Re
 		// below are lock-free and race-free, all writes buffered in shards.
 		ins.EnsureIndexes()
 
-		triggers := collectTriggers(rules, ins, delta, workers, plans)
+		triggers := collectTriggers(rules, ins, delta, workers, plans, onlyFrom)
+		onlyFrom = 0 // the rule filter applies to the first round only
 		if opts.Variant == Oblivious {
 			kept := triggers[:0]
 			for _, tr := range triggers {
@@ -313,6 +417,9 @@ func (st *State) Resume(rules *dependency.Set, ins, delta *storage.Instance) *Re
 			return res
 		}
 		delta = newDelta
+		// Round barrier: re-cost any rule whose plans were compiled while a
+		// relation they read was still empty and has since been populated.
+		st.replans += plans.refresh(rules, ins)
 	}
 	return res
 }

@@ -296,6 +296,60 @@ func MustNewSet(rules ...*TGD) *Set {
 // Len returns the number of rules.
 func (s *Set) Len() int { return len(s.Rules) }
 
+// IndexOfLabel returns the index of the rule with the given label, or -1.
+func (s *Set) IndexOfLabel(label string) int {
+	for i, r := range s.Rules {
+		if r.Label == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// WithRule returns a new Set with r appended, leaving the receiver
+// untouched. The surviving rules are shared by pointer, so rule identity —
+// the *TGD and its label — is stable across mutations and anything keyed on
+// it (compiled plans, provenance, fired-trigger memory) stays valid. If r's
+// label is empty or already taken, a fresh unused "R<n>" label is assigned.
+// The rule is validated, including arity consistency against the set's
+// derived signature.
+func (s *Set) WithRule(r *TGD) (*Set, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	taken := make(map[string]bool, len(s.Rules))
+	for _, x := range s.Rules {
+		taken[x.Label] = true
+	}
+	if r.Label == "" || taken[r.Label] {
+		for n := len(s.Rules) + 1; ; n++ {
+			if l := fmt.Sprintf("R%d", n); !taken[l] {
+				r.Label = l
+				break
+			}
+		}
+	}
+	ns := &Set{Rules: append(s.Rules[:len(s.Rules):len(s.Rules)], r)}
+	if _, err := ns.Predicates(); err != nil {
+		return nil, err
+	}
+	return ns, nil
+}
+
+// WithoutRule returns a new Set with the rule at index i removed, leaving
+// the receiver untouched. Surviving rules are shared by pointer (stable
+// identity); only their indices shift — callers maintaining index-keyed
+// state remap it (see chase.State.DeleteRule).
+func (s *Set) WithoutRule(i int) (*Set, error) {
+	if i < 0 || i >= len(s.Rules) {
+		return nil, fmt.Errorf("dependency: rule index %d out of range [0,%d)", i, len(s.Rules))
+	}
+	rules := make([]*TGD, 0, len(s.Rules)-1)
+	rules = append(rules, s.Rules[:i]...)
+	rules = append(rules, s.Rules[i+1:]...)
+	return &Set{Rules: rules}, nil
+}
+
 // IsSimple reports whether every rule in the set is simple.
 func (s *Set) IsSimple() bool {
 	for _, r := range s.Rules {

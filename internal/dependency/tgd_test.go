@@ -203,3 +203,58 @@ func TestTGDString(t *testing.T) {
 		t.Errorf("Set.String = %q", got)
 	}
 }
+
+func TestWithRuleSharesSurvivorsAndRelabels(t *testing.T) {
+	r1 := MustNew("", []logic.Atom{at("p", v("X"))}, []logic.Atom{at("q", v("X"))})
+	r2 := MustNew("", []logic.Atom{at("q", v("X"))}, []logic.Atom{at("r", v("X"))})
+	s := MustNewSet(r1, r2)
+
+	// A colliding label gets a fresh one; existing rules are shared by
+	// pointer and the receiver is untouched.
+	add := MustNew("R1", []logic.Atom{at("r", v("X"))}, []logic.Atom{at("s", v("X"))})
+	ns, err := s.WithRule(add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || ns.Len() != 3 {
+		t.Fatalf("lengths: old=%d new=%d", s.Len(), ns.Len())
+	}
+	if ns.Rules[0] != r1 || ns.Rules[1] != r2 {
+		t.Error("surviving rules must keep their identity (shared pointers)")
+	}
+	if ns.Rules[2].Label == "R1" || ns.Rules[2].Label == "R2" {
+		t.Errorf("added rule label %q collides", ns.Rules[2].Label)
+	}
+	if ns.IndexOfLabel(ns.Rules[2].Label) != 2 {
+		t.Error("IndexOfLabel must find the added rule")
+	}
+
+	// An arity conflict with the set's signature is rejected.
+	bad := MustNew("", []logic.Atom{at("p", v("X"), v("Y"))}, []logic.Atom{at("s", v("X"))})
+	if _, err := ns.WithRule(bad); err == nil {
+		t.Error("arity conflict with the signature must be rejected")
+	}
+}
+
+func TestWithoutRuleKeepsIdentity(t *testing.T) {
+	r1 := MustNew("", []logic.Atom{at("p", v("X"))}, []logic.Atom{at("q", v("X"))})
+	r2 := MustNew("", []logic.Atom{at("q", v("X"))}, []logic.Atom{at("r", v("X"))})
+	r3 := MustNew("", []logic.Atom{at("r", v("X"))}, []logic.Atom{at("s", v("X"))})
+	s := MustNewSet(r1, r2, r3)
+	ns, err := s.WithoutRule(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Len() != 2 || ns.Rules[0] != r1 || ns.Rules[1] != r3 {
+		t.Errorf("survivors must be r1, r3 by identity: %v", ns)
+	}
+	if s.Len() != 3 {
+		t.Error("receiver must be untouched")
+	}
+	if ns.IndexOfLabel("R2") != -1 || ns.IndexOfLabel("R3") != 1 {
+		t.Error("labels must survive removal; only indices shift")
+	}
+	if _, err := s.WithoutRule(3); err == nil {
+		t.Error("out-of-range removal must error")
+	}
+}

@@ -99,6 +99,23 @@ func MustParseRules(src string) *dependency.Set {
 	return s
 }
 
+// ParseRule parses a single TGD clause such as `p(X) -> q(X) .` — the
+// input format of live rule mutation (Ontology.AddRule). The positional
+// auto-label is cleared so the receiving rule set can assign a unique one.
+func ParseRule(src string) (*dependency.TGD, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Rules) != 1 || len(prog.Queries) != 0 || len(prog.Facts) != 0 {
+		return nil, fmt.Errorf("expected exactly one rule clause, found %d rules, %d queries and %d facts",
+			len(prog.Rules), len(prog.Queries), len(prog.Facts))
+	}
+	r := prog.Rules[0]
+	r.Label = ""
+	return r, nil
+}
+
 // ParseQuery parses a single conjunctive query clause.
 func ParseQuery(src string) (*Query, error) {
 	prog, err := Parse(src)

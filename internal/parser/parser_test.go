@@ -221,3 +221,27 @@ func TestParseRulesRejectsNonRules(t *testing.T) {
 		t.Error("queries must be rejected by ParseFacts")
 	}
 }
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule(`student(X), enrolled(X, Y) -> person(X) .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 2 || len(r.Head) != 1 || r.Head[0].Pred != "person" {
+		t.Errorf("parsed rule = %v", r)
+	}
+	if r.Label != "" {
+		t.Errorf("auto-label must be cleared, got %q", r.Label)
+	}
+	for _, bad := range []string{
+		`student(X) -> person(X) . person(Y) -> entity(Y) .`, // two rules
+		`student(alice) .`,                 // a fact
+		`q(X) :- person(X) .`,              // a query
+		`student(X) -> person(X) . f(a) .`, // rule plus fact
+		``,
+	} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Errorf("ParseRule(%q) must error", bad)
+		}
+	}
+}

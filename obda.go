@@ -51,37 +51,50 @@ import (
 // Ontology is a set of TGDs together with a database instance.
 //
 // An Ontology is safe for concurrent use: any number of goroutines may call
-// Answer*/Classify/Chase concurrently, and AddFact/DeleteFact/LoadCSV may
-// run alongside them. Reads over a published snapshot are lock-free: the
-// answering paths evaluate an immutable instance loaded through an atomic
-// pointer, so a slow query neither blocks nor queues behind concurrent
-// writers. Only a cache miss — the first chase-mode answer, or one after an
-// out-of-band Data() mutation or a budget raise — builds under the writer
-// lock, single-flight and serialized with mutators; once published, the
-// snapshot serves every reader until the next write.
-// Writers extend a copy-on-write clone of the current snapshot and publish
-// it when complete; chase-mode maintenance is incremental in both
-// directions: AddFact chases only the newly inserted facts as a delta, and
-// DeleteFact repairs the materialization DRed-style (over-delete the
-// derived closure, re-derive survivors) instead of re-running the fixpoint
-// (see MaterializationStats for the counters).
+// Answer*/Classify/Chase concurrently, and every mutator —
+// AddFact/DeleteFact/LoadCSV/AddRule/RemoveRule — may run alongside them.
+// Reads over a published snapshot are lock-free: the answering paths
+// evaluate an immutable instance loaded through an atomic pointer, so a
+// slow query neither blocks nor queues behind concurrent writers — not even
+// behind a rule mutation. Only a cache miss — the first chase-mode answer,
+// or one after an out-of-band Data() mutation or a budget raise — builds
+// under the writer lock, single-flight and serialized with mutators; once
+// published, the snapshot serves every reader until the next write.
+//
+// All writes flow through one unified mutation pipeline (mutate): the
+// change is staged and validated in full, applied to a copy-on-write
+// extension of the published snapshots, and published atomically at the
+// end. Maintenance is incremental in every direction: AddFact chases only
+// the newly inserted facts as a delta, DeleteFact repairs the
+// materialization DRed-style (over-delete the derived closure, re-derive
+// survivors), AddRule resumes the chase with the whole instance as delta
+// against only the new rule, and RemoveRule over-deletes every fact whose
+// provenance cites the removed rule before re-deriving survivors (see
+// MaterializationStats for the counters). Dead derivations left behind by
+// repairs are reclaimed by a generational provenance sweep every
+// DefaultCompactEvery mutations (SetCompactEvery tunes it).
 type Ontology struct {
-	rules *dependency.Set
+	// rules is the current TGD set, swapped wholesale (copy-on-write, rule
+	// pointers shared) by rule mutations under wmu; readers load it once per
+	// operation and never observe a half-applied change.
+	rules atomic.Pointer[dependency.Set]
 	data  *storage.Instance
 
-	classOnce      sync.Once
-	classification *core.Report // computed once, on first use
+	// class caches the classification for the exact rule set it was computed
+	// from: set pointer identity is the invalidation key, so any rule
+	// mutation — which swaps the set — implicitly drops the entry.
+	class atomic.Pointer[classEntry]
 
 	// mu guards structural access to the canonical base instance o.data:
 	// writers hold it exclusively while inserting or removing, snapshot
 	// builders hold it shared while cloning. No code path holds it during
-	// query evaluation (asserted by TestAnswersDoNotBlockBehindWriters).
+	// query evaluation, and rule mutations never take it at all (asserted by
+	// TestAnswersDoNotBlockBehindWriters).
 	mu sync.RWMutex
-	// wmu serializes snapshot publishers — AddFact/DeleteFact/LoadCSV,
-	// cold materialization builds and base-snapshot rebuilds — so the
-	// chase engine state is single-writer and cold builds single-flight.
-	// Always acquired before mu; never held while evaluating a published
-	// snapshot.
+	// wmu serializes snapshot publishers — every mutation, cold
+	// materialization builds and base-snapshot rebuilds — so the chase
+	// engine state is single-writer and cold builds single-flight. Always
+	// acquired before mu; never held while evaluating a published snapshot.
 	wmu sync.Mutex
 
 	// mat is the published chase materialization: an immutable instance plus
@@ -95,31 +108,64 @@ type Ontology struct {
 	// epoch counts completed materialization builds and extensions,
 	// monotonic across cache drops and rebuilds.
 	epoch atomic.Uint64
+	// rulesEpoch counts rule mutations; rules-derived caches (compiled query
+	// plans, classification) are keyed to it.
+	rulesEpoch atomic.Uint64
 	// wantProv turns on derivation-provenance recording for future
-	// materialization builds. It is set (sticky) by the first DeleteFact, so
-	// ontologies that never delete pay nothing for the graph; the first
-	// deletion pays one rebuild, after which repairs are incremental.
+	// materialization builds. It is set (sticky) by the first DeleteFact or
+	// RemoveRule, so ontologies that never delete pay nothing for the graph;
+	// the first deletion pays one rebuild, after which repairs are
+	// incremental.
 	wantProv atomic.Bool
 
 	// planEpoch counts snapshot publications (materializations and base
-	// snapshots alike); the compiled-plan cache is keyed to it, so plans
-	// compiled against a retired snapshot are dropped wholesale.
+	// snapshots alike); the compiled-plan cache generation is keyed to it
+	// (together with rulesEpoch), so plans compiled against a retired
+	// snapshot are dropped wholesale.
 	planEpoch atomic.Uint64
 	// planCache holds the compiled query plans for the current epoch, keyed
 	// by canonical query string. Server-style workloads re-answering the
 	// same (or α-equivalent) queries hit warm plans and skip the planner.
 	planCache atomic.Pointer[planCache]
+
+	// compactEvery and mutCount drive the generational provenance sweep: a
+	// mutation whose count reaches the interval compacts the engine's
+	// derivation graph before publishing. Both are guarded by wmu
+	// (SetCompactEvery takes it).
+	compactEvery int
+	mutCount     int
+}
+
+// classEntry caches one classification, pinned to the exact rule set it was
+// computed from.
+type classEntry struct {
+	rules  *dependency.Set
+	report *core.Report
+}
+
+// DefaultCompactEvery is how many mutations may elapse between generational
+// provenance-compaction sweeps (see SetCompactEvery).
+const DefaultCompactEvery = 64
+
+// newOntology wires a rule set and an instance into an Ontology.
+func newOntology(rules *dependency.Set, data *storage.Instance) *Ontology {
+	o := &Ontology{data: data, compactEvery: DefaultCompactEvery}
+	o.rules.Store(rules)
+	return o
 }
 
 // planCache maps canonical query strings to plans compiled against one
-// snapshot generation. Entries additionally pin the exact instance they were
-// compiled for, so a reader still evaluating a just-retired snapshot can
-// never be served plans whose frozen statistics and resolved order belong to
-// a different instance generation.
+// (snapshot, rule set) generation: rulesEpoch joins the snapshot epoch in
+// the key because rule mutations change what a rewritten query means even
+// when the base instance is untouched. Entries additionally pin the exact
+// instance they were compiled for, so a reader still evaluating a
+// just-retired snapshot can never be served plans whose frozen statistics
+// and resolved order belong to a different instance generation.
 type planCache struct {
-	epoch uint64
-	mu    sync.RWMutex
-	m     map[string]*cachedPlans
+	epoch      uint64
+	rulesEpoch uint64
+	mu         sync.RWMutex
+	m          map[string]*cachedPlans
 }
 
 type cachedPlans struct {
@@ -154,9 +200,10 @@ func (o *Ontology) evalUCQ(u *query.UCQ, ins *storage.Instance, opts eval.Option
 // snapshot) and publishes the entry for the next caller.
 func (o *Ontology) compiledPlans(u *query.UCQ, ins *storage.Instance, planner eval.Planner) []*eval.Plan {
 	epoch := o.planEpoch.Load()
+	repoch := o.rulesEpoch.Load()
 	pc := o.planCache.Load()
-	if pc == nil || pc.epoch != epoch {
-		fresh := &planCache{epoch: epoch, m: make(map[string]*cachedPlans)}
+	if pc == nil || pc.epoch != epoch || pc.rulesEpoch != repoch {
+		fresh := &planCache{epoch: epoch, rulesEpoch: repoch, m: make(map[string]*cachedPlans)}
 		if o.planCache.CompareAndSwap(pc, fresh) {
 			pc = fresh
 		} else {
@@ -210,6 +257,9 @@ type materialization struct {
 	steps, rounds, nulls int
 	// lastSteps/lastRounds describe the most recent build or increment.
 	lastSteps, lastRounds int
+	// provDerivs/provDead/compactions freeze the provenance-graph size, its
+	// dead (compactable) portion and the completed sweep count.
+	provDerivs, provDead, compactions int
 }
 
 // baseSnapshot is the published immutable view of the base data serving
@@ -258,7 +308,7 @@ func Parse(src string) (*Ontology, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Ontology{rules: rules, data: data}, nil
+	return newOntology(rules, data), nil
 }
 
 // MustParse is Parse panicking on error; for tests and examples.
@@ -281,7 +331,7 @@ func ParseFiles(rulesPath string, dataPaths ...string) (*Ontology, error) {
 	if err != nil {
 		return nil, err
 	}
-	o := &Ontology{rules: rules, data: storage.NewInstance()}
+	o := newOntology(rules, storage.NewInstance())
 	for _, f := range prog.Facts {
 		if err := o.data.InsertAtom(f); err != nil {
 			return nil, err
@@ -304,8 +354,10 @@ func ParseFiles(rulesPath string, dataPaths ...string) (*Ontology, error) {
 	return o, nil
 }
 
-// Rules returns the ontology's TGD set.
-func (o *Ontology) Rules() *dependency.Set { return o.rules }
+// Rules returns the ontology's current TGD set. Rule mutations (AddRule,
+// RemoveRule) replace the set wholesale, so the returned value is an
+// immutable snapshot: it never changes under the caller.
+func (o *Ontology) Rules() *dependency.Set { return o.rules.Load() }
 
 // Data returns the ontology's canonical database instance. Treat it as
 // read-only: mutate the ontology through AddFact/DeleteFact/LoadCSV, which
@@ -314,6 +366,288 @@ func (o *Ontology) Rules() *dependency.Set { return o.rules }
 // balanced insert/delete pairs are caught) and force a full rebuild on the
 // next answer — but they race with concurrent Answer and mutator calls.
 func (o *Ontology) Data() *storage.Instance { return o.data }
+
+// mutation is one staged change to the ontology flowing through the unified
+// write pipeline: any combination of fact insertions, fact deletions, rule
+// additions and one rule removal. Every mutator — AddFact, DeleteFact,
+// LoadCSV, AddRule, RemoveRule — builds a mutation and hands it to mutate,
+// which runs the same stage → validate → apply → publish sequence over
+// copy-on-write snapshots.
+type mutation struct {
+	addFacts []logic.Atom
+	delFacts []logic.Atom
+	addRules []*dependency.TGD
+	dropRule string // label of the rule to remove; "" = none
+}
+
+// mutationResult reports what a mutation actually changed.
+type mutationResult struct {
+	addedFacts   int // genuinely new base facts
+	removedFacts int // base facts that were present and removed
+}
+
+// mutate is the unified write pipeline. Under the writer lock it
+//
+//  1. stages and validates the whole mutation — rule arities against the
+//     set's signature and the stored relations, fact arities against the
+//     published expansion — before anything is touched, so a rejected
+//     mutation is a strict no-op;
+//  2. applies it: rule removal first (DRed rule-keyed over-deletion +
+//     re-derivation via chase.State.DeleteRule), then rule additions (the
+//     whole instance as delta against only the new rules via
+//     chase.State.ExtendRules), then fact deletions (chase.State.Delete),
+//     then fact insertions (chase.State.Extend) — each step maintaining the
+//     same copy-on-write extension of the published materialization, or
+//     dropping it when incremental repair is impossible (truncated cache,
+//     missing provenance);
+//  3. publishes: the rule set is swapped (bumping rulesEpoch, invalidating
+//     classification and compiled plans), the base snapshot is extended for
+//     fact deltas, the repaired materialization is published atomically —
+//     concurrent readers keep the previous snapshot throughout — and every
+//     compactEvery-th mutation first runs the generational provenance sweep.
+func (o *Ontology) mutate(mut mutation) (mutationResult, error) {
+	var res mutationResult
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	o.dropStaleSnapshots()
+
+	// --- stage & validate ---
+	oldRules := o.rules.Load()
+	afterDrop := oldRules
+	dropIdx := -1
+	if mut.dropRule != "" {
+		if dropIdx = oldRules.IndexOfLabel(mut.dropRule); dropIdx < 0 {
+			return res, fmt.Errorf("repro: no rule labeled %q", mut.dropRule)
+		}
+		var err error
+		if afterDrop, err = oldRules.WithoutRule(dropIdx); err != nil {
+			return res, err
+		}
+	}
+	newRules := afterDrop
+	for _, r := range mut.addRules {
+		var err error
+		if newRules, err = newRules.WithRule(r); err != nil {
+			return res, err
+		}
+	}
+	if len(mut.addRules) > 0 {
+		if err := o.checkRuleArities(newRules); err != nil {
+			return res, err
+		}
+	}
+	stagedAdds, err := o.stageFacts(mut.addFacts)
+	if err != nil {
+		return res, err
+	}
+
+	// --- apply ---
+	w := o.beginMatWork()
+	if dropIdx >= 0 {
+		// Future builds must record provenance so later rule removals can
+		// repair incrementally instead of rebuilding (sticky, like DeleteFact).
+		o.wantProv.Store(true)
+		o.applyRuleDrop(w, afterDrop, dropIdx)
+	}
+	if len(mut.addRules) > 0 {
+		o.applyRuleAdd(w, newRules, afterDrop.Len())
+	}
+	var removed []logic.Atom
+	if len(mut.delFacts) > 0 {
+		o.mu.Lock()
+		for _, f := range mut.delFacts {
+			// Remove is idempotent: a duplicated fact in the batch removes once.
+			if o.data.Remove(f) {
+				removed = append(removed, f)
+			}
+		}
+		o.mu.Unlock()
+		res.removedFacts = len(removed)
+		if len(removed) > 0 {
+			o.wantProv.Store(true)
+			o.applyFactDelete(w, newRules, removed)
+		}
+	}
+	var added []logic.Atom
+	if len(stagedAdds) > 0 {
+		var err error
+		if added, _, err = o.commitInserts(stagedAdds); err != nil {
+			// Unreachable after staging; commitInserts rolled the batch back.
+			// Publish nothing and drop any half-repaired materialization.
+			if w.touched {
+				o.mat.Store(nil)
+			}
+			return res, err
+		}
+		res.addedFacts = len(added)
+		o.applyFactInsert(w, newRules, added)
+	}
+
+	// --- publish ---
+	if newRules != oldRules {
+		o.rules.Store(newRules)
+		o.rulesEpoch.Add(1)
+		o.planEpoch.Add(1) // compiled plans are rules-derived state
+		o.class.Store(nil)
+	}
+	dataMut := o.data.Mutations()
+	o.updateBaseSnapshot(added, removed, dataMut)
+	o.mutCount++
+	if w.live && o.compactEvery > 0 && o.mutCount >= o.compactEvery {
+		w.state.CompactProvenance()
+		o.mutCount = 0
+	}
+	switch {
+	case w.touched:
+		o.publishMat(w.ins, w.state, w.terminated, dataMut, w.steps, w.rounds)
+	case w.had && !w.live:
+		o.mat.Store(nil) // maintenance became impossible; rebuild lazily
+	}
+	return res, w.err
+}
+
+// matWork is the in-flight copy-on-write materialization a mutation edits
+// before publishing: every apply step threads it, so a multi-part mutation
+// repairs one extension and publishes once.
+type matWork struct {
+	ins           *storage.Instance
+	state         *chase.State
+	terminated    bool
+	steps, rounds int  // accumulated across this mutation's steps
+	live          bool // a maintainable work-set is in hand
+	had           bool // a materialization was published at entry
+	touched       bool // at least one step edited the work-set
+	err           error
+}
+
+// beginMatWork loads the published materialization and opens a copy-on-write
+// extension for the mutation's apply steps; with nothing published the
+// work-set starts dead and every step is a no-op. Requires o.wmu.
+func (o *Ontology) beginMatWork() *matWork {
+	m := o.mat.Load()
+	if m == nil {
+		return &matWork{}
+	}
+	return &matWork{
+		ins:        m.ins.ExtendClone(),
+		state:      m.state,
+		terminated: m.terminated,
+		live:       true,
+		had:        true,
+	}
+}
+
+// drop abandons maintenance: the published materialization is stale and the
+// next answer rebuilds it from the base data.
+func (w *matWork) drop() {
+	w.live = false
+	w.touched = false
+}
+
+// record folds one apply step's chase increment into the work-set.
+func (w *matWork) record(res *chase.Result) {
+	w.touched = true
+	w.terminated = res.Terminated
+	w.steps += res.Steps
+	w.rounds += res.Rounds
+}
+
+// repairableWork reports whether the work-set can absorb a DRed repair; a
+// truncated cache cannot (triggers were dropped), and one built without
+// provenance has nothing to walk — both drop, and the caller's sticky
+// wantProv makes the lazily rebuilt cache repairable next time.
+func (w *matWork) repairableWork() bool {
+	if !w.live {
+		return false
+	}
+	if !w.terminated || !w.state.TracksProvenance() {
+		w.drop()
+		return false
+	}
+	return true
+}
+
+// applyRuleDrop repairs the work-set after a rule removal: every fact whose
+// provenance cites the removed rule is over-deleted, survivors re-derived
+// against the surviving set, stored rule indices remapped. Requires o.wmu.
+func (o *Ontology) applyRuleDrop(w *matWork, afterDrop *dependency.Set, dropIdx int) {
+	if !w.repairableWork() {
+		return
+	}
+	dres, err := w.state.DeleteRule(afterDrop, w.ins, dropIdx, o.data)
+	if err != nil {
+		w.drop()
+		return
+	}
+	w.record(dres.Result)
+}
+
+// applyRuleAdd extends the work-set with newly appended rules by resuming
+// the chase with the whole instance as the delta against only those rules —
+// work proportional to what the new rules derive. Requires o.wmu.
+func (o *Ontology) applyRuleAdd(w *matWork, newRules *dependency.Set, firstNew int) {
+	if !w.live {
+		return
+	}
+	if !w.terminated {
+		w.drop() // a truncated cache cannot be extended soundly
+		return
+	}
+	w.record(w.state.ExtendRules(newRules, w.ins, firstNew))
+}
+
+// applyFactDelete repairs the work-set DRed-style after base facts were
+// removed from the canonical data. Requires o.wmu.
+func (o *Ontology) applyFactDelete(w *matWork, rules *dependency.Set, removed []logic.Atom) {
+	if !w.repairableWork() {
+		return
+	}
+	dres, err := w.state.Delete(rules, w.ins, removed, o.data)
+	if err != nil {
+		w.drop() // the base removal stands; the next answer rebuilds
+		return
+	}
+	w.record(dres.Result)
+}
+
+// applyFactInsert folds newly inserted base facts into the work-set by
+// resuming the chase with just those facts as the delta. Requires o.wmu.
+func (o *Ontology) applyFactInsert(w *matWork, rules *dependency.Set, added []logic.Atom) {
+	if !w.live {
+		return
+	}
+	if !w.terminated {
+		w.drop() // a truncated cache cannot be extended soundly
+		return
+	}
+	res, err := w.state.Extend(rules, w.ins, added)
+	if err != nil {
+		w.drop()
+		w.err = err
+		return
+	}
+	w.record(res)
+}
+
+// checkRuleArities verifies that a mutated rule set's signature agrees with
+// the arities of the relations already stored (published expansion first,
+// which is a superset of the base data). Requires o.wmu.
+func (o *Ontology) checkRuleArities(rules *dependency.Set) error {
+	sig, err := rules.Predicates()
+	if err != nil {
+		return err
+	}
+	lookup := o.data.Relation
+	if m := o.mat.Load(); m != nil {
+		lookup = m.ins.Relation
+	}
+	for pred, arity := range sig {
+		if rel := lookup(pred); rel != nil && rel.Arity() != arity {
+			return fmt.Errorf("repro: rule uses %s with arity %d, stored relation has %d", pred, arity, rel.Arity())
+		}
+	}
+	return nil
+}
 
 // AddFact inserts ground facts, parsed from text like `person(alice) .`.
 // The batch is staged and validated in full before the ontology is touched,
@@ -330,19 +664,8 @@ func (o *Ontology) AddFact(src string) error {
 	if err != nil {
 		return err
 	}
-	o.wmu.Lock()
-	defer o.wmu.Unlock()
-	o.dropStaleSnapshots()
-	staged, err := o.stageFacts(facts)
-	if err != nil {
-		return err
-	}
-	added, mut, err := o.commitInserts(staged)
-	if err != nil {
-		return err
-	}
-	o.updateBaseSnapshot(added, nil, mut)
-	return o.extendMaterialization(added, mut)
+	_, err = o.mutate(mutation{addFacts: facts})
+	return err
 }
 
 // DeleteFact removes ground base facts, parsed like AddFact's input, and
@@ -360,44 +683,70 @@ func (o *Ontology) DeleteFact(src string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	res, err := o.mutate(mutation{delFacts: facts})
+	return res.removedFacts, err
+}
+
+// AddRule adds a single TGD, parsed from text like
+// `student(X) -> person(X) .`, to the live ontology — no stop-the-world
+// rebuild. The rule is validated (structure and arity consistency against
+// both the rule set and the stored relations) before anything changes, and
+// is assigned a fresh unique label (reported by Rules). A published
+// materialization is extended incrementally: the chase resumes with the
+// whole instance as the delta against only the new rule, then consequences
+// propagate semi-naively — work proportional to what the rule derives, not
+// to a re-chase (see MaterializationStats.LastSteps). Rules-derived caches
+// (classification, compiled plans) are epoch-invalidated; concurrent
+// readers keep answering over the previous snapshot throughout.
+func (o *Ontology) AddRule(src string) error {
+	rule, err := parser.ParseRule(src)
+	if err != nil {
+		return err
+	}
+	_, err = o.mutate(mutation{addRules: []*dependency.TGD{rule}})
+	return err
+}
+
+// RemoveRule removes the rule with the given label (see Rules for the
+// current labels) from the live ontology. A published materialization is
+// repaired DRed-style: every fact whose provenance cites the removed rule
+// is over-deleted together with its derived closure, then survivors are
+// re-derived through the surviving rules — facts also derivable another way
+// (or present in the base data) stay, exactly as a from-scratch chase of
+// the shrunk set would have them. The first RemoveRule on a cache built
+// without provenance drops it and flips recording on (sticky, shared with
+// DeleteFact), so later removals repair incrementally. Concurrent readers
+// never block and keep the previous snapshot until the repair publishes.
+func (o *Ontology) RemoveRule(label string) error {
+	_, err := o.mutate(mutation{dropRule: label})
+	return err
+}
+
+// SetCompactEvery tunes the generational provenance compaction: every n-th
+// mutation reclaims the derivation-graph entries that fact and rule
+// deletions have marked dead, bounding provenance memory for long-lived
+// serving processes (default DefaultCompactEvery; n <= 0 disables the
+// automatic sweep — CompactProvenance still runs one on demand).
+func (o *Ontology) SetCompactEvery(n int) {
 	o.wmu.Lock()
 	defer o.wmu.Unlock()
-	o.dropStaleSnapshots()
-	o.mu.Lock()
-	var removed []logic.Atom
-	for _, f := range facts {
-		// Remove is idempotent: a duplicated fact in the batch removes once.
-		if o.data.Remove(f) {
-			removed = append(removed, f)
-		}
-	}
-	mut := o.data.Mutations()
-	o.mu.Unlock()
-	if len(removed) == 0 {
-		return 0, nil
-	}
-	o.updateBaseSnapshot(nil, removed, mut)
-	o.wantProv.Store(true) // future builds record the graph for repairs
+	o.compactEvery = n
+}
+
+// CompactProvenance immediately runs one generational sweep over the chase
+// engine's derivation graph, returning how many dead derivations were
+// reclaimed (0 when nothing is cached, provenance is off, or nothing died).
+// The published snapshot is untouched — provenance is writer-side state —
+// so readers are unaffected; the stats frozen into MaterializationStats
+// refresh at the next publication.
+func (o *Ontology) CompactProvenance() int {
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
 	m := o.mat.Load()
 	if m == nil {
-		return len(removed), nil
+		return 0
 	}
-	if !m.terminated || !m.state.TracksProvenance() {
-		// A truncated cache cannot be repaired (triggers were dropped), and
-		// one built without provenance — every cache predating the first
-		// DeleteFact — has nothing to walk; rebuild lazily. Only this first
-		// deletion pays the rebuild: wantProv is sticky.
-		o.mat.Store(nil)
-		return len(removed), nil
-	}
-	ins := m.ins.ExtendClone()
-	dres, err := m.state.Delete(o.rules, ins, removed, o.data)
-	if err != nil {
-		o.mat.Store(nil) // the base removal stands; the next answer rebuilds
-		return len(removed), nil
-	}
-	o.publishMat(ins, m.state, dres.Result.Terminated, mut, dres.Result.Steps, dres.Result.Rounds)
-	return len(removed), nil
+	return m.state.CompactProvenance()
 }
 
 // dropStaleSnapshots discards published snapshots whose recorded mutation
@@ -488,46 +837,25 @@ func (o *Ontology) updateBaseSnapshot(added, removed []logic.Atom, mut uint64) {
 	o.base.Store(&baseSnapshot{ins: ins, baseMut: mut})
 }
 
-// extendMaterialization folds newly inserted base facts into the published
-// materialization by resuming the chase with just those facts as the delta
-// (chase.State.Extend) over a copy-on-write extension of the published
-// instance, then publishes the result. A truncated cache cannot be extended
-// soundly (triggers were dropped), so it is discarded instead. Requires
-// o.wmu.
-func (o *Ontology) extendMaterialization(added []logic.Atom, mut uint64) error {
-	m := o.mat.Load()
-	if m == nil {
-		return nil
-	}
-	if !m.terminated {
-		o.mat.Store(nil)
-		return nil
-	}
-	ins := m.ins.ExtendClone()
-	res, err := m.state.Extend(o.rules, ins, added)
-	if err != nil {
-		o.mat.Store(nil)
-		return err
-	}
-	o.publishMat(ins, m.state, res.Terminated, mut, res.Steps, res.Rounds)
-	return nil
-}
-
 // publishMat freezes the engine counters into an immutable materialization
 // and publishes it, bumping the epoch. Requires o.wmu.
 func (o *Ontology) publishMat(ins *storage.Instance, st *chase.State, terminated bool, baseMut uint64, lastSteps, lastRounds int) {
 	o.epoch.Add(1)
 	o.planEpoch.Add(1)
+	derivs, dead, compactions := st.ProvenanceStats()
 	o.mat.Store(&materialization{
-		ins:        ins,
-		state:      st,
-		terminated: terminated,
-		baseMut:    baseMut,
-		steps:      st.TotalSteps(),
-		rounds:     st.TotalRounds(),
-		nulls:      st.TotalNulls(),
-		lastSteps:  lastSteps,
-		lastRounds: lastRounds,
+		ins:         ins,
+		state:       st,
+		terminated:  terminated,
+		baseMut:     baseMut,
+		steps:       st.TotalSteps(),
+		rounds:      st.TotalRounds(),
+		nulls:       st.TotalNulls(),
+		lastSteps:   lastSteps,
+		lastRounds:  lastRounds,
+		provDerivs:  derivs,
+		provDead:    dead,
+		compactions: compactions,
 	})
 }
 
@@ -556,10 +884,18 @@ func (o *Ontology) snapshotBase() *storage.Instance {
 // Classify runs every class test of the paper's landscape (simple, Linear,
 // Multilinear, Sticky, Sticky-Join, Guarded, Domain-Restricted,
 // Weakly-Acyclic, Acyclic-GRD, SWR, WR) and recommends an answering
-// strategy. The report is cached.
+// strategy. The report is cached per rule set: a rule mutation swaps the set
+// and thereby invalidates the entry, so Classify never serves a
+// pre-mutation landscape (regression-tested). Lock-free; concurrent callers
+// may compute the same report once each, which is benign.
 func (o *Ontology) Classify() *core.Report {
-	o.classOnce.Do(func() { o.classification = core.Classify(o.rules) })
-	return o.classification
+	rules := o.rules.Load()
+	if e := o.class.Load(); e != nil && e.rules == rules {
+		return e.report
+	}
+	rep := core.Classify(rules)
+	o.class.Store(&classEntry{rules: rules, report: rep})
+	return rep
 }
 
 // Rewriting is a compiled first-order rewriting of a query.
@@ -615,7 +951,7 @@ func (o *Ontology) rewriteCQ(q *query.CQ, maxCQs int) *Rewriting {
 	if maxCQs > 0 {
 		ropts.MaxCQs = maxCQs
 	}
-	res := rewrite.Rewrite(q, o.rules, ropts)
+	res := rewrite.Rewrite(q, o.rules.Load(), ropts)
 	return &Rewriting{UCQ: res.UCQ, Complete: res.Complete, Stats: res}
 }
 
@@ -761,10 +1097,12 @@ func (o *Ontology) answerChase(q *query.CQ, opts Options, evalOpts eval.Options)
 	ins := o.data.Clone()
 	snapMut := o.data.Mutations()
 	o.mu.RUnlock()
-	// Record provenance only once a DeleteFact has shown it is needed.
+	// Record provenance only once a DeleteFact/RemoveRule has shown it is
+	// needed. Rules are loaded under wmu, so the build matches the set
+	// current at publication.
 	copts.TrackProvenance = o.wantProv.Load()
 	st := chase.NewState(copts)
-	res := st.Resume(o.rules, ins, ins)
+	res := st.Resume(o.rules.Load(), ins, ins)
 	// Publish unless the data was mutated out-of-band while we chased (a
 	// legitimate writer cannot have: we hold wmu). Either way, serve our own
 	// build — it is a valid chase of the data as of the clone.
@@ -818,8 +1156,15 @@ type MaterializationStats struct {
 	// build and every AddFact increment.
 	Steps, Rounds, NullsCreated int
 	// LastSteps and LastRounds describe only the most recent build or
-	// increment — after an AddFact they measure the delta, not the instance.
+	// increment — after an AddFact/AddRule they measure the delta, after a
+	// DeleteFact/RemoveRule the repair, never the instance.
 	LastSteps, LastRounds int
+	// ProvDerivations and ProvDeadDerivations size the engine's derivation
+	// graph (zero when provenance is off): total recorded derivations and
+	// how many are dead — invalidated by deletions and reclaimable by the
+	// generational compaction sweep. Compactions counts completed sweeps.
+	// All three are frozen at publish time, like the step counters.
+	ProvDerivations, ProvDeadDerivations, Compactions int
 }
 
 // MaterializationStats reports the state of the published materialization.
@@ -832,15 +1177,18 @@ func (o *Ontology) MaterializationStats() MaterializationStats {
 		return MaterializationStats{Epoch: o.epoch.Load()}
 	}
 	return MaterializationStats{
-		Cached:       true,
-		Epoch:        o.epoch.Load(),
-		Terminated:   m.terminated,
-		Facts:        m.ins.Size(),
-		Steps:        m.steps,
-		Rounds:       m.rounds,
-		NullsCreated: m.nulls,
-		LastSteps:    m.lastSteps,
-		LastRounds:   m.lastRounds,
+		Cached:              true,
+		Epoch:               o.epoch.Load(),
+		Terminated:          m.terminated,
+		Facts:               m.ins.Size(),
+		Steps:               m.steps,
+		Rounds:              m.rounds,
+		NullsCreated:        m.nulls,
+		LastSteps:           m.lastSteps,
+		LastRounds:          m.lastRounds,
+		ProvDerivations:     m.provDerivs,
+		ProvDeadDerivations: m.provDead,
+		Compactions:         m.compactions,
 	}
 }
 
@@ -859,5 +1207,5 @@ func (o *Ontology) ChaseOptions(opts Options) *chase.Result {
 	o.mu.RLock()
 	data := o.data.Clone()
 	o.mu.RUnlock()
-	return chase.NewState(opts.chaseOptions()).Resume(o.rules, data, data)
+	return chase.NewState(opts.chaseOptions()).Resume(o.rules.Load(), data, data)
 }

@@ -20,9 +20,10 @@ import (
 // chase, and concurrent readers keep the previous snapshot meanwhile.
 func (o *Ontology) LoadCSV(pred string, r io.Reader) (added int, err error) {
 	// Stage into a private instance first so parse errors leave the
-	// ontology untouched and the new facts are known for the delta. The
-	// staged tuples are iterated in place (Insert clones for itself), not
-	// re-cloned through Atoms().
+	// ontology untouched and the new facts are known for the delta; the
+	// batch then flows through the unified mutation pipeline, whose staging
+	// re-validates arities against the published expansion so a conflict
+	// leaves data and snapshots untouched.
 	staged := storage.NewInstance()
 	if _, err := staged.LoadCSV(pred, r); err != nil {
 		return 0, err
@@ -35,29 +36,8 @@ func (o *Ontology) LoadCSV(pred string, r io.Reader) (added int, err error) {
 	for _, t := range rel.Tuples() {
 		atoms = append(atoms, logic.Atom{Pred: pred, Args: t})
 	}
-	o.wmu.Lock()
-	defer o.wmu.Unlock()
-	o.dropStaleSnapshots()
-	// Check the (uniform) CSV arity against the published expansion — a
-	// superset of the base data — up front, so the load is all-or-nothing
-	// and a conflict leaves data and snapshots untouched.
-	want := rel.Arity()
-	if m := o.mat.Load(); m != nil {
-		if mr := m.ins.Relation(pred); mr != nil {
-			want = mr.Arity()
-		}
-	} else if dr := o.data.Relation(pred); dr != nil {
-		want = dr.Arity()
-	}
-	if rel.Arity() != want {
-		return 0, fmt.Errorf("repro: csv for %s has arity %d, existing relation has %d", pred, rel.Arity(), want)
-	}
-	addedAtoms, mut, err := o.commitInserts(atoms)
-	if err != nil {
-		return 0, err
-	}
-	o.updateBaseSnapshot(addedAtoms, nil, mut)
-	return len(addedAtoms), o.extendMaterialization(addedAtoms, mut)
+	res, err := o.mutate(mutation{addFacts: atoms})
+	return res.addedFacts, err
 }
 
 // Approx is the outcome of approximate query answering (paper §7: what to
@@ -111,7 +91,8 @@ func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, e
 		return nil, err
 	}
 
-	rw := rewrite.Rewrite(q, o.rules, rewrite.Options{MaxCQs: opts.MaxCQs, Minimize: true})
+	rules := o.rules.Load()
+	rw := rewrite.Rewrite(q, rules, rewrite.Options{MaxCQs: opts.MaxCQs, Minimize: true})
 	if rw.Complete {
 		// Exact via rewriting; evaluating over the published base snapshot
 		// suffices and the chase need not run at all. No lock held.
@@ -139,7 +120,7 @@ func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, e
 	snapMut := o.data.Mutations()
 	o.mu.RUnlock()
 	st := chase.NewState(chase.Options{MaxSteps: opts.MaxChaseSteps, TrackProvenance: o.wantProv.Load()})
-	ch := st.Resume(o.rules, data, data)
+	ch := st.Resume(rules, data, data)
 
 	res := &Approx{
 		RewritingComplete: rw.Complete,
@@ -168,10 +149,12 @@ func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, e
 		// chase-mode answers (and repeated AnswerApprox calls) are cache
 		// hits. Done after all evaluation over the private instance — once
 		// published it is shared and extended copy-on-write by the writers.
-		// Install only if the base data did not change while we chased and
+		// Install only if neither the base data nor the rule set changed
+		// while we chased (the chase ran outside wmu, so a concurrent rule
+		// mutation would make this fixpoint describe a retired ontology) and
 		// no fresh terminated cache exists already.
 		o.wmu.Lock()
-		if o.data.Mutations() == snapMut {
+		if o.data.Mutations() == snapMut && o.rules.Load() == rules {
 			if cur := o.mat.Load(); cur == nil || !cur.terminated || cur.baseMut != snapMut {
 				o.publishMat(ch.Instance, st, true, snapMut, ch.Steps, ch.Rounds)
 			}
