@@ -6,7 +6,7 @@ GO ?= go
 # failure fail the target (and CI), not vanish behind benchjson's exit 0.
 SHELL := /bin/bash -o pipefail
 
-.PHONY: all build test bench lint bench-json bench-compare pprof
+.PHONY: all build test bench lint bench-json bench-compare pprof serve-smoke
 
 all: lint build test
 
@@ -24,6 +24,12 @@ lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
+
+# End-to-end smoke of the HTTP serving layer: boot cmd/serve on an
+# ephemeral port, run a read, a write and a deadline-cancelled request
+# against it, and require a clean SIGTERM drain.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # Machine-readable benchmark baseline: one timed pass per benchmark,
 # rendered to JSON for the perf trajectory. The default output is

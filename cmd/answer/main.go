@@ -5,7 +5,8 @@
 // Usage:
 //
 //	answer -rules testdata/family.rules -data testdata/family.data \
-//	       -query 'q(X,Y) :- ancestor(X,Y) .' [-mode auto|rewrite|chase]
+//	       -query 'q(X,Y) :- ancestor(X,Y) .' [-mode auto|rewrite|chase] \
+//	       [-timeout 500ms]
 //
 // With -add, the query is answered, the facts are inserted (AddFact), and
 // the query is answered again; -delete does the same with DeleteFact
@@ -13,7 +14,9 @@
 // second answer is served from the incrementally maintained materialization
 // — the printed stats show the delta-proportional step count.
 // -incremental=false instead rebuilds the whole ontology from scratch for
-// comparison.
+// comparison. -timeout bounds the whole run (parsing aside): an expired
+// deadline aborts rewriting, chase rounds and join execution mid-flight and
+// rolls any in-flight mutation back.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"os"
 
 	repro "repro"
+	"repro/internal/cliflags"
 )
 
 func main() {
@@ -29,41 +33,32 @@ func main() {
 	dataPath := flag.String("data", "", "path to a .data file")
 	querySrc := flag.String("query", "", "conjunctive query")
 	mode := flag.String("mode", "auto", "auto | rewrite | chase")
-	parallel := flag.Int("parallel", 1, "worker count for chase and evaluation (1 = sequential)")
-	planner := flag.String("planner", "cost", "join-order strategy: greedy | cost")
-	maxSteps := flag.Int("max-steps", 0, "chase trigger-firing budget (0 = default 100000)")
-	maxRounds := flag.Int("max-rounds", 0, "chase fair-round budget (0 = default 1000)")
 	add := flag.String("add", "", "facts (program text) to AddFact after the first answer, then re-answer")
 	del := flag.String("delete", "", "facts (program text) to DeleteFact after the first answer (and any -add), then re-answer")
 	addRule := flag.String("add-rule", "", "a TGD (rule text) to AddRule after the first answer, then re-answer")
 	dropRule := flag.String("drop-rule", "", "label of a rule (e.g. R2) to RemoveRule after the first answer, then re-answer")
 	incremental := flag.Bool("incremental", true, "with -add/-delete/-add-rule/-drop-rule: maintain the published materialization incrementally (false = rebuild the ontology from scratch)")
+	shared := cliflags.Bind(flag.CommandLine)
 	flag.Parse()
 	if *rulesPath == "" || *querySrc == "" {
-		fmt.Fprintln(os.Stderr, "usage: answer -rules FILE [-data FILE] -query 'q(X) :- ... .' [-mode M] [-add 'f(a) .']")
+		fmt.Fprintln(os.Stderr, "usage: answer -rules FILE [-data FILE] -query 'q(X) :- ... .' [-mode M] [-timeout D] [-add 'f(a) .']")
 		os.Exit(2)
 	}
-	var m repro.AnswerMode
-	switch *mode {
-	case "auto":
-		m = repro.ModeAuto
-	case "rewrite":
-		m = repro.ModeRewrite
-	case "chase":
-		m = repro.ModeChase
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
-	}
-	pl, err := repro.ParsePlanner(*planner)
+	m, err := cliflags.ParseMode(*mode)
 	if err != nil {
-		fatal(err)
+		cliflags.Fatal(err)
 	}
-	opts := repro.Options{Mode: m, Parallelism: *parallel, MaxSteps: *maxSteps, MaxRounds: *maxRounds, Planner: pl}
+	opts, err := shared.Options(m)
+	if err != nil {
+		cliflags.Fatal(err)
+	}
+	ctx, cancel := shared.Context()
+	defer cancel()
 
 	ont := load(*rulesPath, *dataPath)
-	ans, err := ont.AnswerOptions(*querySrc, opts)
+	ans, err := ont.AnswerCtx(ctx, *querySrc, opts)
 	if err != nil {
-		fatal(err)
+		cliflags.Fatal(err)
 	}
 	fmt.Println(ans)
 	fmt.Fprintf(os.Stderr, "%d answers\n", ans.Len())
@@ -83,32 +78,32 @@ func main() {
 		ont = load(*rulesPath, *dataPath)
 	}
 	if *add != "" {
-		if err := ont.AddFact(*add); err != nil {
-			fatal(err)
+		if err := ont.AddFactCtx(ctx, *add); err != nil {
+			cliflags.Fatal(err)
 		}
 	}
 	if *del != "" {
-		n, err := ont.DeleteFact(*del)
+		n, err := ont.DeleteFactCtx(ctx, *del)
 		if err != nil {
-			fatal(err)
+			cliflags.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "deleted %d base facts\n", n)
 	}
 	if *addRule != "" {
-		if err := ont.AddRule(*addRule); err != nil {
-			fatal(err)
+		if err := ont.AddRuleCtx(ctx, *addRule); err != nil {
+			cliflags.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "added rule; set now has %d rules\n", ont.Rules().Len())
 	}
 	if *dropRule != "" {
-		if err := ont.RemoveRule(*dropRule); err != nil {
-			fatal(err)
+		if err := ont.RemoveRuleCtx(ctx, *dropRule); err != nil {
+			cliflags.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "removed rule %s; set now has %d rules\n", *dropRule, ont.Rules().Len())
 	}
-	ans, err = ont.AnswerOptions(*querySrc, opts)
+	ans, err = ont.AnswerCtx(ctx, *querySrc, opts)
 	if err != nil {
-		fatal(err)
+		cliflags.Fatal(err)
 	}
 	fmt.Println("--- after updates ---")
 	fmt.Println(ans)
@@ -128,12 +123,7 @@ func load(rulesPath, dataPath string) *repro.Ontology {
 		ont, err = repro.ParseFiles(rulesPath)
 	}
 	if err != nil {
-		fatal(err)
+		cliflags.Fatal(err)
 	}
 	return ont
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

@@ -13,6 +13,10 @@
 // incrementally via DRed over-deletion/re-derivation (the path
 // Ontology.DeleteFact uses), or by a from-scratch re-chase of the surviving
 // input.
+//
+// -timeout bounds the whole run: an expired deadline stops the engine at
+// the current round barrier without merging it and the command exits
+// non-zero.
 package main
 
 import (
@@ -21,7 +25,7 @@ import (
 	"os"
 
 	"repro/internal/chase"
-	"repro/internal/eval"
+	"repro/internal/cliflags"
 	"repro/internal/parser"
 	"repro/internal/storage"
 )
@@ -30,18 +34,15 @@ func main() {
 	rulesPath := flag.String("rules", "", "path to a .rules file of TGDs")
 	dataPath := flag.String("data", "", "path to a .data file of facts")
 	oblivious := flag.Bool("oblivious", false, "use the semi-oblivious chase")
-	maxSteps := flag.Int("max-steps", 0, "trigger-firing budget (0 = default 100000)")
-	maxRounds := flag.Int("max-rounds", 0, "fair-round budget (0 = default 1000)")
-	parallel := flag.Int("parallel", 1, "worker count for the chase (1 = sequential)")
-	planner := flag.String("planner", "cost", "join-order strategy for rule bodies: greedy | cost")
 	add := flag.String("add", "", "extra facts (program text) to fold in after the initial chase")
 	del := flag.String("delete", "", "facts (program text) to delete after the initial chase")
 	addRule := flag.String("add-rule", "", "a TGD (rule text, e.g. 'p(X) -> q(X) .') to add after the initial chase")
 	dropRule := flag.String("drop-rule", "", "label of a rule (e.g. R2) to remove after the initial chase")
 	incremental := flag.Bool("incremental", false, "with -add/-delete/-add-rule/-drop-rule: maintain the chased instance incrementally instead of re-chasing")
+	shared := cliflags.Bind(flag.CommandLine)
 	flag.Parse()
 	if *rulesPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: chase -rules FILE [-data FILE] [-oblivious] [-add 'f(a) .'] [-delete 'f(a) .'] [-add-rule 'p(X) -> q(X) .'] [-drop-rule R2] [-incremental]")
+		fmt.Fprintln(os.Stderr, "usage: chase -rules FILE [-data FILE] [-oblivious] [-timeout D] [-add 'f(a) .'] [-delete 'f(a) .'] [-add-rule 'p(X) -> q(X) .'] [-drop-rule R2] [-incremental]")
 		os.Exit(2)
 	}
 	prog, err := parser.ParseFile(*rulesPath)
@@ -69,21 +70,23 @@ func main() {
 			}
 		}
 	}
-	pl, err := eval.ParsePlanner(*planner)
+	opts, err := shared.ChaseOptions()
 	if err != nil {
 		fatal(err)
 	}
-	opts := chase.Options{MaxSteps: *maxSteps, MaxRounds: *maxRounds, Parallelism: *parallel, Planner: pl}
 	if *oblivious {
 		opts.Variant = chase.Oblivious
 	}
 	// Incremental deletion (of facts or of a rule's contribution) walks the
 	// engine's derivation provenance.
 	opts.TrackProvenance = (*del != "" || *dropRule != "") && *incremental
+	ctx, cancel := shared.Context()
+	defer cancel()
 
 	st := chase.NewState(opts)
 	ins := data.Clone()
-	res := st.Resume(set, ins, ins)
+	res := st.ResumeCtx(ctx, set, ins, ins)
+	checkCtx(res, ins)
 	report(opts, "initial", res, ins)
 
 	if (*add != "" || *del != "" || *addRule != "" || *dropRule != "") && *incremental && !res.Terminated {
@@ -98,10 +101,11 @@ func main() {
 			fatal(err)
 		}
 		if *incremental {
-			res, err = st.Extend(set, ins, extra)
+			res, err = st.ExtendCtx(ctx, set, ins, extra)
 			if err != nil {
 				fatal(err)
 			}
+			checkCtx(res, ins)
 			report(opts, "incremental add", res, ins)
 			for _, f := range extra {
 				if err := data.InsertAtom(f); err != nil {
@@ -114,8 +118,9 @@ func main() {
 					fatal(err)
 				}
 			}
-			res = chase.Run(set, data, opts)
+			res = chase.RunCtx(ctx, set, data, opts)
 			ins = res.Instance
+			checkCtx(res, ins)
 			report(opts, "re-chase", res, ins)
 		}
 	}
@@ -134,17 +139,19 @@ func main() {
 			*incremental = false
 		}
 		if *incremental {
-			dres, err := st.Delete(set, ins, doomed, data)
+			dres, err := st.DeleteCtx(ctx, set, ins, doomed, data)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "dred: requested=%d over-deleted=%d rederived=%d\n",
 				dres.Requested, dres.OverDeleted, dres.Rederived)
 			res = dres.Result
+			checkCtx(res, ins)
 			report(opts, "incremental delete", res, ins)
 		} else {
-			res = chase.Run(set, data, opts)
+			res = chase.RunCtx(ctx, set, data, opts)
 			ins = res.Instance
+			checkCtx(res, ins)
 			report(opts, "re-chase", res, ins)
 		}
 	}
@@ -161,11 +168,13 @@ func main() {
 		// truncated increment poisons st even after a re-chase refreshed res.
 		if *incremental && res.Terminated && !st.Truncated() {
 			// Resume with the whole instance as delta against the new rule only.
-			res = st.ExtendRules(next, ins, set.Len())
+			res = st.ExtendRulesCtx(ctx, next, ins, set.Len())
+			checkCtx(res, ins)
 			report(opts, "incremental add-rule", res, ins)
 		} else {
-			res = chase.Run(next, data, opts)
+			res = chase.RunCtx(ctx, next, data, opts)
 			ins = res.Instance
+			checkCtx(res, ins)
 			report(opts, "re-chase (add-rule)", res, ins)
 		}
 		set = next
@@ -180,22 +189,35 @@ func main() {
 			fatal(err)
 		}
 		if *incremental && res.Terminated && !st.Truncated() {
-			dres, err := st.DeleteRule(next, ins, ri, data)
+			dres, err := st.DeleteRuleCtx(ctx, next, ins, ri, data)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "dred rule %s: removed=%d over-deleted=%d rederived=%d\n",
 				*dropRule, dres.Requested, dres.OverDeleted, dres.Rederived)
 			res = dres.Result
+			checkCtx(res, ins)
 			report(opts, "incremental drop-rule", res, ins)
 		} else {
-			res = chase.Run(next, data, opts)
+			res = chase.RunCtx(ctx, next, data, opts)
 			ins = res.Instance
+			checkCtx(res, ins)
 			report(opts, "re-chase (drop-rule)", res, ins)
 		}
 		set = next
 	}
 	fmt.Println(ins)
+}
+
+// checkCtx terminates the run when the -timeout deadline aborted the engine
+// (Result.Err): partial engine state is unsafe to keep mutating, so the
+// command reports how far it got and exits non-zero.
+func checkCtx(res *chase.Result, ins *storage.Instance) {
+	if res.Err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "chase aborted: %v (after %d steps, %d facts)\n", res.Err, res.Steps, ins.Size())
+	os.Exit(1)
 }
 
 func report(opts chase.Options, phase string, res *chase.Result, ins *storage.Instance) {

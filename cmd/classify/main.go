@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	classify -rules testdata/example3.rules
+//	classify -rules testdata/example3.rules [-timeout 5s]
+//
+// Classification runs over the rules only (no data), through the same
+// cached path serving-layer auto-mode answering uses (Ontology.Classify).
+// -timeout bounds the run; the graph constructions have no internal
+// cancellation hook, so the deadline is enforced from outside.
 package main
 
 import (
@@ -13,28 +18,27 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/parser"
+	"repro"
+	"repro/internal/cliflags"
 )
 
 func main() {
 	rulesPath := flag.String("rules", "", "path to a .rules file of TGDs")
+	shared := cliflags.BindTimeout(flag.CommandLine)
 	flag.Parse()
 	if *rulesPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: classify -rules FILE")
+		fmt.Fprintln(os.Stderr, "usage: classify -rules FILE [-timeout D]")
 		os.Exit(2)
 	}
-	prog, err := parser.ParseFile(*rulesPath)
+	ont, err := repro.ParseFiles(*rulesPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cliflags.Fatal(err)
 	}
-	set, err := prog.RuleSet()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	fmt.Printf("%d rules from %s\n\n", ont.Rules().Len(), *rulesPath)
+	if err := shared.RunTimeout(func() error {
+		fmt.Print(ont.Classify())
+		return nil
+	}); err != nil {
+		cliflags.Fatal(err)
 	}
-	fmt.Printf("%d rules from %s\n\n", set.Len(), *rulesPath)
-	rep := core.Classify(set)
-	fmt.Print(rep)
 }

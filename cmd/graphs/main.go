@@ -7,6 +7,9 @@
 //	graphs -rules testdata/example1.rules -graph position   > fig1.dot
 //	graphs -rules testdata/example2.rules -graph pnode      > fig3.dot
 //	graphs -rules testdata/example3.rules -graph grd        > grd.dot
+//
+// -timeout bounds the run; the graph constructions have no internal
+// cancellation hook, so the deadline is enforced from outside.
 package main
 
 import (
@@ -14,6 +17,8 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
+	"repro/internal/dependency"
 	"repro/internal/dot"
 	"repro/internal/grd"
 	"repro/internal/parser"
@@ -24,20 +29,30 @@ import (
 func main() {
 	rulesPath := flag.String("rules", "", "path to a .rules file")
 	graph := flag.String("graph", "position", "position | pnode | grd")
+	shared := cliflags.BindTimeout(flag.CommandLine)
 	flag.Parse()
 	if *rulesPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: graphs -rules FILE -graph position|pnode|grd")
+		fmt.Fprintln(os.Stderr, "usage: graphs -rules FILE -graph position|pnode|grd [-timeout D]")
 		os.Exit(2)
 	}
 	prog, err := parser.ParseFile(*rulesPath)
 	if err != nil {
-		fatal(err)
+		cliflags.Fatal(err)
 	}
 	set, err := prog.RuleSet()
 	if err != nil {
-		fatal(err)
+		cliflags.Fatal(err)
 	}
-	switch *graph {
+	if err := shared.RunTimeout(func() error {
+		return emit(set, *graph)
+	}); err != nil {
+		cliflags.Fatal(err)
+	}
+}
+
+// emit builds the requested graph and prints its DOT rendering.
+func emit(set *dependency.Set, kind string) error {
+	switch kind {
 	case "position":
 		g := posgraph.Build(set)
 		fmt.Print(dot.PositionGraph(g, "positiongraph"))
@@ -58,11 +73,7 @@ func main() {
 		}
 		fmt.Print(dot.RuleDependencies(g, labels, "grd"))
 	default:
-		fatal(fmt.Errorf("unknown graph kind %q", *graph))
+		return fmt.Errorf("unknown graph kind %q", kind)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	return nil
 }

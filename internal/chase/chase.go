@@ -26,6 +26,7 @@
 package chase
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"sync"
@@ -110,6 +111,14 @@ type Result struct {
 	// Terminated reports whether a fixpoint was reached within budget.
 	// When false the instance is a sound but incomplete approximation.
 	Terminated bool
+	// Err is the context error when the run was aborted by cancellation or
+	// deadline (ResumeCtx and friends). An aborted run stopped at a round
+	// barrier without merging the interrupted round's writes, so Instance is
+	// a valid chase prefix of the input — but the engine State has consumed
+	// partial bookkeeping (counters, fired memory) and must be discarded:
+	// incremental maintenance on top of an aborted run is unsound, exactly
+	// as after a truncation.
+	Err error
 	// Steps is the number of trigger firings performed.
 	Steps int
 	// Rounds is the number of fair rounds performed.
@@ -237,11 +246,19 @@ func (ps *planSet) headSatisfied(ri int, frontier logic.Subst, ins *storage.Inst
 
 // Run chases data with rules. The input instance is not modified.
 func Run(rules *dependency.Set, data *storage.Instance, opts Options) *Result {
+	return RunCtx(context.Background(), rules, data, opts)
+}
+
+// RunCtx is Run under a cancellation context: the fixpoint checks ctx at
+// every round barrier and the workers poll it during trigger collection and
+// firing, so a canceled or deadline-expired chase aborts promptly with
+// Result.Err set instead of running to its budget.
+func RunCtx(ctx context.Context, rules *dependency.Set, data *storage.Instance, opts Options) *Result {
 	ins := data.Clone()
 	// Round zero's delta is the whole input: every initial fact is "new".
 	// Aliasing ins is safe — rounds only read the delta, writes are
 	// buffered in shards until the barrier.
-	return NewState(opts).Resume(rules, ins, ins)
+	return NewState(opts).ResumeCtx(ctx, rules, ins, ins)
 }
 
 // collectTriggers enumerates, semi-naively, every rule binding with at least
@@ -254,7 +271,10 @@ func Run(rules *dependency.Set, data *storage.Instance, opts Options) *Result {
 // preserving task order so the sequential path stays deterministic. from
 // restricts collection to rules with index ≥ from (0 = all): the AddRule
 // maintenance round only re-examines the instance against the new rules.
-func collectTriggers(rules *dependency.Set, ins, delta *storage.Instance, workers int, ps *planSet, from int) []trigger {
+// Collection reads only, so a ctx abort (runner-level polling plus a
+// per-tuple guard) leaves the instance untouched; the caller detects it via
+// ctx.Err() and discards the partial trigger list.
+func collectTriggers(ctx context.Context, rules *dependency.Set, ins, delta *storage.Instance, workers int, ps *planSet, from int) []trigger {
 	type task struct {
 		rule int
 		atom int
@@ -280,8 +300,12 @@ func collectTriggers(rules *dependency.Set, ins, delta *storage.Instance, worker
 		if !runner.Bind(ins) {
 			return // a body relation is absent from ins: the rule cannot fire
 		}
+		runner.SetContext(ctx)
 		seen := make(map[string]bool)
-		for _, tuple := range delta.Relation(rule.Body[t.atom].Pred).Tuples() {
+		for di, tuple := range delta.Relation(rule.Body[t.atom].Pred).Tuples() {
+			if runner.Err() != nil || (di&0xFF == 0 && ctx.Err() != nil) {
+				return // canceled: the caller discards the partial collection
+			}
 			runner.RunTuple(tuple, func(regs []logic.Term) bool {
 				key := regsKey(regs, slots)
 				if !seen[key] {

@@ -25,6 +25,7 @@
 package chase
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dependency"
@@ -71,6 +72,16 @@ type DeleteResult struct {
 // from scratch instead. ins must be the instance this state materialized,
 // possibly behind storage.ExtendClone.
 func (st *State) Delete(rules *dependency.Set, ins *storage.Instance, facts []logic.Atom, base *storage.Instance) (*DeleteResult, error) {
+	return st.DeleteCtx(context.Background(), rules, ins, facts, base)
+}
+
+// DeleteCtx is Delete under a cancellation context: the over-deletion sweep
+// polls ctx between queue items and the re-derivation propagation inherits it
+// (see ResumeCtx). On abort the repair is half-applied — facts removed but
+// survivors not yet re-derived — so Result.Err is set and the caller must
+// discard both the instance and the state and rebuild from the base data
+// (Ontology.mutate rolls back and drops the cache).
+func (st *State) DeleteCtx(ctx context.Context, rules *dependency.Set, ins *storage.Instance, facts []logic.Atom, base *storage.Instance) (*DeleteResult, error) {
 	if err := st.repairable(); err != nil {
 		return nil, err
 	}
@@ -92,8 +103,14 @@ func (st *State) Delete(rules *dependency.Set, ins *storage.Instance, facts []lo
 	if res.Requested == 0 {
 		return res, nil
 	}
-	queue = st.overDelete(ins, base, queue, removed, res)
-	st.rederive(rules, ins, queue, removed, res)
+	queue = st.overDelete(ctx, ins, base, queue, removed, res)
+	if err := ctx.Err(); err != nil {
+		st.truncated = true // half-repaired: refuse future incremental work
+		res.Result.Err = err
+		res.Result.Terminated = false
+		return res, nil
+	}
+	st.rederive(ctx, rules, ins, queue, removed, res)
 	return res, nil
 }
 
@@ -113,6 +130,14 @@ func (st *State) Delete(rules *dependency.Set, ins *storage.Instance, facts []lo
 // closure beyond them; the work is proportional to the removed rule's
 // contribution, not to the instance.
 func (st *State) DeleteRule(rules *dependency.Set, ins *storage.Instance, ri int, base *storage.Instance) (*DeleteResult, error) {
+	return st.DeleteRuleCtx(context.Background(), rules, ins, ri, base)
+}
+
+// DeleteRuleCtx is DeleteRule under a cancellation context, with the same
+// abort semantics as DeleteCtx: on cancellation the repair is half-applied,
+// Result.Err is set, the state is marked truncated, and the caller must
+// discard instance and state.
+func (st *State) DeleteRuleCtx(ctx context.Context, rules *dependency.Set, ins *storage.Instance, ri int, base *storage.Instance) (*DeleteResult, error) {
 	if err := st.repairable(); err != nil {
 		return nil, err
 	}
@@ -146,8 +171,14 @@ func (st *State) DeleteRule(rules *dependency.Set, ins *storage.Instance, ri int
 	if len(queue) == 0 {
 		return res, nil
 	}
-	queue = st.overDelete(ins, base, queue, removed, res)
-	st.rederive(rules, ins, queue, removed, res)
+	queue = st.overDelete(ctx, ins, base, queue, removed, res)
+	if err := ctx.Err(); err != nil {
+		st.truncated = true // half-repaired: refuse future incremental work
+		res.Result.Err = err
+		res.Result.Terminated = false
+		return res, nil
+	}
+	st.rederive(ctx, rules, ins, queue, removed, res)
 	return res, nil
 }
 
@@ -173,8 +204,11 @@ func (st *State) repairable() error {
 // it. Facts still present in base are never removed — a base fact needs no
 // derivation. Returns the full removed queue for the re-derivation sweep;
 // res.OverDeleted counts the facts removed beyond the initial seeds.
-func (st *State) overDelete(ins, base *storage.Instance, queue []logic.Atom, removed map[string]bool, res *DeleteResult) []logic.Atom {
+func (st *State) overDelete(ctx context.Context, ins, base *storage.Instance, queue []logic.Atom, removed map[string]bool, res *DeleteResult) []logic.Atom {
 	for qi := 0; qi < len(queue); qi++ {
+		if qi&0xFF == 0 && ctx.Err() != nil {
+			return queue // canceled: half-swept, caller surfaces the abort
+		}
 		fk := queue[qi].Key()
 		if st.prov.producers != nil {
 			for _, di := range st.prov.producers[fk] {
@@ -214,11 +248,14 @@ func (st *State) overDelete(ins, base *storage.Instance, queue []logic.Atom, rem
 // of the instance. Survivor triggers re-fire under the usual variant
 // discipline and their consequences propagate through an ordinary
 // semi-naive Resume; res.Result describes the whole increment.
-func (st *State) rederive(rules *dependency.Set, ins *storage.Instance, removedFacts []logic.Atom, removed map[string]bool, res *DeleteResult) {
+func (st *State) rederive(ctx context.Context, rules *dependency.Set, ins *storage.Instance, removedFacts []logic.Atom, removed map[string]bool, res *DeleteResult) {
 	cands := st.collectRederiveTriggers(rules, ins, removedFacts)
 	delta := storage.NewInstance()
 	steps, nulls := 0, 0
-	for _, tr := range cands {
+	for ci, tr := range cands {
+		if ci&0x1F == 0 && ctx.Err() != nil {
+			break // canceled: the propagation below reports the abort
+		}
 		rule := rules.Rules[tr.rule]
 		if st.opts.Variant == Restricted && headSatisfied(rule, tr.frontier, ins) {
 			continue
@@ -255,14 +292,21 @@ func (st *State) rederive(rules *dependency.Set, ins *storage.Instance, removedF
 	st.nulls += nulls
 
 	// Propagate the restored facts semi-naively; an empty delta means the
-	// deletion reached its fixpoint in the direct sweep.
+	// deletion reached its fixpoint in the direct sweep. A ctx abort — in
+	// the direct sweep above or inside the propagation — surfaces as
+	// Result.Err with Terminated false, and marks the state truncated so
+	// future incremental repairs refuse to build on the half-applied sweep.
 	rres := &Result{Instance: ins, Terminated: true}
-	if delta.Size() > 0 {
-		rres = st.Resume(rules, ins, delta)
+	if err := ctx.Err(); err != nil {
+		rres = &Result{Instance: ins, Err: err}
+		st.truncated = true
+	} else if delta.Size() > 0 {
+		rres = st.ResumeCtx(ctx, rules, ins, delta)
 	}
 	res.Result = &Result{
 		Instance:     ins,
 		Terminated:   rres.Terminated,
+		Err:          rres.Err,
 		Steps:        rres.Steps + steps,
 		Rounds:       rres.Rounds,
 		NullsCreated: rres.NullsCreated + nulls,

@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -202,6 +203,14 @@ func (st *State) Truncated() bool { return st.truncated }
 // round. Unsound after a truncated run (see Truncated): dropped triggers
 // would never be reconsidered, so callers must rebuild instead.
 func (st *State) Extend(rules *dependency.Set, ins *storage.Instance, facts []logic.Atom) (*Result, error) {
+	return st.ExtendCtx(context.Background(), rules, ins, facts)
+}
+
+// ExtendCtx is Extend under a cancellation context (see ResumeCtx). On abort
+// the inserted base facts remain in ins and the returned Result carries the
+// context error; the caller owns the rollback of ins and must discard the
+// state.
+func (st *State) ExtendCtx(ctx context.Context, rules *dependency.Set, ins *storage.Instance, facts []logic.Atom) (*Result, error) {
 	delta := storage.NewInstance()
 	for _, f := range facts {
 		added, err := ins.Insert(f)
@@ -217,7 +226,7 @@ func (st *State) Extend(rules *dependency.Set, ins *storage.Instance, facts []lo
 	if delta.Size() == 0 {
 		return &Result{Instance: ins, Terminated: true}, nil
 	}
-	return st.Resume(rules, ins, delta), nil
+	return st.ResumeCtx(ctx, rules, ins, delta), nil
 }
 
 // instantiateHead grounds the rule head for a firing of frontier: frontier
@@ -270,7 +279,20 @@ func (st *State) newDerivation(rules *dependency.Set, tr trigger) derivation {
 // count the increment); cumulative totals live on the State. Budgets apply
 // per call.
 func (st *State) Resume(rules *dependency.Set, ins, delta *storage.Instance) *Result {
-	return st.resume(rules, ins, delta, 0)
+	return st.resume(context.Background(), rules, ins, delta, 0)
+}
+
+// ResumeCtx is Resume under a cancellation context. The fixpoint polls ctx
+// at every round barrier, during parallel trigger collection (amortized, in
+// the compiled-plan runners) and in the firing loop, so a canceled or
+// deadline-expired increment aborts within a bounded amount of work. An
+// aborted run returns with Result.Err set and Terminated false, WITHOUT
+// merging the interrupted round's buffered writes: the instance is a valid
+// chase prefix, but the state has consumed partial bookkeeping and is marked
+// truncated — discard both and rebuild (Ontology.mutate rolls the base data
+// back and drops the cache, so readers keep the pre-mutation snapshot).
+func (st *State) ResumeCtx(ctx context.Context, rules *dependency.Set, ins, delta *storage.Instance) *Result {
+	return st.resume(ctx, rules, ins, delta, 0)
 }
 
 // ExtendRules resumes the chase after rules were appended to the set (the
@@ -283,23 +305,30 @@ func (st *State) Resume(rules *dependency.Set, ins, delta *storage.Instance) *Re
 // instance is already their fixpoint. Unsound after a truncated run, exactly
 // like Extend.
 func (st *State) ExtendRules(rules *dependency.Set, ins *storage.Instance, firstNew int) *Result {
+	return st.ExtendRulesCtx(context.Background(), rules, ins, firstNew)
+}
+
+// ExtendRulesCtx is ExtendRules under a cancellation context (see ResumeCtx
+// for abort semantics).
+func (st *State) ExtendRulesCtx(ctx context.Context, rules *dependency.Set, ins *storage.Instance, firstNew int) *Result {
 	if firstNew >= rules.Len() {
 		return &Result{Instance: ins, Terminated: true} // no new rules
 	}
-	return st.resume(rules, ins, ins, firstNew)
+	return st.resume(ctx, rules, ins, ins, firstNew)
 }
 
 // resume is the shared fixpoint driver. onlyFrom restricts the FIRST round's
 // trigger collection to rules with index ≥ onlyFrom (0 = all rules); later
 // rounds always consider the whole set, which is what makes the restriction
 // sound — anything the filtered round derives is re-examined by every rule.
-func (st *State) resume(rules *dependency.Set, ins, delta *storage.Instance, onlyFrom int) *Result {
+func (st *State) resume(ctx context.Context, rules *dependency.Set, ins, delta *storage.Instance, onlyFrom int) *Result {
 	opts := st.opts
 	res := &Result{Instance: ins}
 	workers := opts.Parallelism
 
 	var steps atomic.Int64
 	var truncated atomic.Bool
+	var canceled atomic.Bool
 
 	defer func() {
 		st.steps += res.Steps
@@ -322,13 +351,23 @@ func (st *State) resume(rules *dependency.Set, ins, delta *storage.Instance, onl
 	plans := newPlanSet(rules, ins, opts.Planner)
 
 	for res.Rounds < opts.MaxRounds {
+		// Round barrier: a canceled increment aborts between rounds (and at
+		// the finer-grained polls below) without merging partial writes.
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
 		res.Rounds++
 
 		// Freeze the instance for this round: indexes pre-built, all reads
 		// below are lock-free and race-free, all writes buffered in shards.
 		ins.EnsureIndexes()
 
-		triggers := collectTriggers(rules, ins, delta, workers, plans, onlyFrom)
+		triggers := collectTriggers(ctx, rules, ins, delta, workers, plans, onlyFrom)
+		if err := ctx.Err(); err != nil {
+			res.Err = err // collection aborted; its partial output is unusable
+			return res
+		}
 		onlyFrom = 0 // the rule filter applies to the first round only
 		if opts.Variant == Oblivious {
 			kept := triggers[:0]
@@ -361,8 +400,17 @@ func (st *State) resume(rules *dependency.Set, ins, delta *storage.Instance, onl
 			// Per-worker head-plan runners, lazily created per rule: repeated
 			// applicability checks reuse the register file, allocation-free.
 			headRunners := make([]*eval.Runner, len(rules.Rules))
+			polled := 0
 			for i := w; i < len(triggers); i += workers {
-				if truncated.Load() {
+				if truncated.Load() || canceled.Load() {
+					return
+				}
+				// Poll ctx every 32 firings per worker: a firing does real
+				// work (head-satisfaction join, instantiation, shard insert),
+				// so the amortized poll bounds abort latency without putting
+				// a lock acquisition on every trigger.
+				if polled++; polled&0x1F == 0 && ctx.Err() != nil {
+					canceled.Store(true)
 					return
 				}
 				tr := triggers[i]
@@ -391,6 +439,15 @@ func (st *State) resume(rules *dependency.Set, ins, delta *storage.Instance, onl
 				}
 			}
 		})
+
+		// A canceled round discards its buffered shards unmerged: the
+		// instance stays a consistent prefix (every completed round merged
+		// atomically at its barrier), only the engine bookkeeping is dirty.
+		if canceled.Load() || ctx.Err() != nil {
+			res.Steps = int(steps.Load())
+			res.Err = ctx.Err()
+			return res
+		}
 
 		// Round barrier: single-writer merge of all shards, producing the
 		// next delta, and of the workers' provenance records.

@@ -1,0 +1,143 @@
+// Package cliflags is the one flag surface shared by every command in
+// cmd/: the engine knobs (-parallel, -planner, -max-steps, -max-rounds) and
+// the deadline (-timeout) are declared once here, so answer, chase, rewrite,
+// classify, graphs and serve agree on names, defaults and help text instead
+// of each redeclaring a drifting subset.
+package cliflags
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/chase"
+	"repro/internal/eval"
+)
+
+// Flags holds the parsed shared flag values.
+type Flags struct {
+	// Parallel is the worker count for the chase and query evaluation
+	// (1 = sequential).
+	Parallel int
+	// Planner names the join-order strategy: "greedy" or "cost".
+	Planner string
+	// MaxSteps bounds chase trigger firings (0 = engine default).
+	MaxSteps int
+	// MaxRounds bounds chase fair rounds (0 = engine default).
+	MaxRounds int
+	// Timeout bounds the whole operation; 0 means no deadline.
+	Timeout time.Duration
+}
+
+// Bind registers the full shared surface on fs (flag.CommandLine in the
+// commands): -parallel, -planner, -max-steps, -max-rounds and -timeout.
+func Bind(fs *flag.FlagSet) *Flags {
+	f := BindTimeout(fs)
+	fs.IntVar(&f.Parallel, "parallel", 1, "worker count for chase and evaluation (1 = sequential)")
+	fs.StringVar(&f.Planner, "planner", "cost", "join-order strategy: greedy | cost")
+	fs.IntVar(&f.MaxSteps, "max-steps", 0, "chase trigger-firing budget (0 = default 100000)")
+	fs.IntVar(&f.MaxRounds, "max-rounds", 0, "chase fair-round budget (0 = default 1000)")
+	return f
+}
+
+// BindTimeout registers only -timeout, for commands with no engine knobs.
+func BindTimeout(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.DurationVar(&f.Timeout, "timeout", 0, "abort the operation after this duration, e.g. 500ms (0 = no deadline)")
+	return f
+}
+
+// PlannerStrategy resolves the -planner value.
+func (f *Flags) PlannerStrategy() (eval.Planner, error) {
+	return eval.ParsePlanner(f.Planner)
+}
+
+// Options maps the shared flags onto the root answering options.
+func (f *Flags) Options(mode repro.AnswerMode) (repro.Options, error) {
+	pl, err := f.PlannerStrategy()
+	if err != nil {
+		return repro.Options{}, err
+	}
+	return repro.Options{
+		Mode:        mode,
+		Parallelism: f.Parallel,
+		MaxSteps:    f.MaxSteps,
+		MaxRounds:   f.MaxRounds,
+		Planner:     pl,
+	}, nil
+}
+
+// ChaseOptions maps the shared flags onto a chase engine configuration.
+func (f *Flags) ChaseOptions() (chase.Options, error) {
+	pl, err := f.PlannerStrategy()
+	if err != nil {
+		return chase.Options{}, err
+	}
+	return chase.Options{
+		MaxSteps:    f.MaxSteps,
+		MaxRounds:   f.MaxRounds,
+		Parallelism: f.Parallel,
+		Planner:     pl,
+	}, nil
+}
+
+// EvalOptions maps the shared flags onto query-evaluation options.
+func (f *Flags) EvalOptions() (eval.Options, error) {
+	pl, err := f.PlannerStrategy()
+	if err != nil {
+		return eval.Options{}, err
+	}
+	return eval.Options{FilterNulls: true, Parallelism: f.Parallel, Planner: pl}, nil
+}
+
+// Context arms the -timeout deadline: with a zero timeout it returns the
+// background context and a no-op cancel.
+func (f *Flags) Context() (context.Context, context.CancelFunc) {
+	if f.Timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), f.Timeout)
+}
+
+// RunTimeout honors -timeout for operations that expose no context hook
+// (classification, graph construction): fn runs in a goroutine and the call
+// returns context.DeadlineExceeded when the deadline fires first. The
+// goroutine is not reclaimed on timeout — callers are CLIs that exit
+// immediately after, which is exactly why library code should take a ctx
+// instead.
+func (f *Flags) RunTimeout(fn func() error) error {
+	if f.Timeout <= 0 {
+		return fn()
+	}
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(f.Timeout):
+		return fmt.Errorf("aborted after %v: %w", f.Timeout, context.DeadlineExceeded)
+	}
+}
+
+// ParseMode parses a -mode flag value.
+func ParseMode(s string) (repro.AnswerMode, error) {
+	switch s {
+	case "auto":
+		return repro.ModeAuto, nil
+	case "rewrite":
+		return repro.ModeRewrite, nil
+	case "chase":
+		return repro.ModeChase, nil
+	default:
+		return repro.ModeAuto, fmt.Errorf("unknown mode %q (want auto | rewrite | chase)", s)
+	}
+}
+
+// Fatal prints the error and exits 1; the commands' shared failure path.
+func Fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@
 package eval
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -179,28 +180,52 @@ func UCQ(u *query.UCQ, ins *storage.Instance, opts Options) *Answers {
 	return RunPlans(CompileUCQ(u, ins, opts.Planner), u.Arity(), ins, opts)
 }
 
+// UCQCtx is UCQ under a cancellation context: evaluation aborts promptly
+// (amortized per-candidate polling in the executor) when ctx is canceled and
+// returns the context error; the partial answer set is discarded.
+func UCQCtx(ctx context.Context, u *query.UCQ, ins *storage.Instance, opts Options) (*Answers, error) {
+	return RunPlansCtx(ctx, CompileUCQ(u, ins, opts.Planner), u.Arity(), ins, opts)
+}
+
 // RunPlans evaluates precompiled CQ plans (the disjuncts of a union) over
 // the instance, unioning the answers. It is the execution entry point behind
 // CQ and UCQ; callers holding a plan cache (Ontology) invoke it directly so
 // repeated queries skip compilation.
 func RunPlans(plans []*Plan, arity int, ins *storage.Instance, opts Options) *Answers {
+	ans, _ := RunPlansCtx(context.Background(), plans, arity, ins, opts)
+	return ans
+}
+
+// RunPlansCtx is RunPlans under a cancellation context: each runner polls
+// ctx at amortized intervals, so a canceled or deadline-expired evaluation
+// stops within a few thousand candidate tuples per worker. On cancellation
+// the (partial, meaningless) answers are dropped and the context error is
+// returned; a nil error means the answer set is complete.
+func RunPlansCtx(ctx context.Context, plans []*Plan, arity int, ins *storage.Instance, opts Options) (*Answers, error) {
 	if p := opts.workers(); p > 1 {
-		return parallelEval(plans, arity, ins, opts, p)
+		return parallelEval(ctx, plans, arity, ins, opts, p)
 	}
 	out := NewAnswers(arity)
 	for _, plan := range plans {
-		if !runPlanShard(plan, ins, opts, 0, 1, out) {
+		cont, err := runPlanShard(ctx, plan, ins, opts, 0, 1, out)
+		if err != nil {
+			return nil, err
+		}
+		if !cont {
 			break // limit reached
 		}
 	}
-	return out
+	return out, nil
 }
 
 // parallelEval fans the (plan × outer-shard) work units of a union out over
 // p workers. Each worker accumulates into a private Answers (no locks on the
 // hot path); the privates are merged into the deduplicating result at the
-// end. Indexes are pre-built so workers never race on the lazy build.
-func parallelEval(plans []*Plan, arity int, ins *storage.Instance, opts Options, p int) *Answers {
+// end. Indexes are pre-built so workers never race on the lazy build. When
+// ctx is canceled every worker aborts its current shard at the next poll and
+// drains the remaining units without running them, so no goroutine outlives
+// the call.
+func parallelEval(ctx context.Context, plans []*Plan, arity int, ins *storage.Instance, opts Options, p int) (*Answers, error) {
 	ins.EnsureIndexes()
 	type unit struct {
 		plan  *Plan
@@ -213,6 +238,7 @@ func parallelEval(plans []*Plan, arity int, ins *storage.Instance, opts Options,
 		}
 	}
 	results := make([]*Answers, len(units))
+	errs := make([]error, len(units))
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
@@ -221,8 +247,9 @@ func parallelEval(plans []*Plan, arity int, ins *storage.Instance, opts Options,
 			defer wg.Done()
 			for i := range next {
 				out := NewAnswers(arity)
-				runPlanShard(units[i].plan, ins, opts, units[i].shard, p, out)
+				_, err := runPlanShard(ctx, units[i].plan, ins, opts, units[i].shard, p, out)
 				results[i] = out
+				errs[i] = err
 			}
 		}()
 	}
@@ -231,6 +258,11 @@ func parallelEval(plans []*Plan, arity int, ins *storage.Instance, opts Options,
 	}
 	close(next)
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	merged := NewAnswers(arity)
 	for _, r := range results {
 		for _, t := range r.Tuples() {
@@ -238,17 +270,19 @@ func parallelEval(plans []*Plan, arity int, ins *storage.Instance, opts Options,
 			merged.AddOwned(t)
 		}
 	}
-	return merged
+	return merged, nil
 }
 
 // runPlanShard runs one shard of a compiled CQ plan, projecting head tuples
-// into out. Returns false when the answer limit was reached.
-func runPlanShard(plan *Plan, ins *storage.Instance, opts Options, shard, nshards int, out *Answers) bool {
+// into out. cont is false when the answer limit was reached; err is the
+// context error when ctx canceled the enumeration mid-run.
+func runPlanShard(ctx context.Context, plan *Plan, ins *storage.Instance, opts Options, shard, nshards int, out *Answers) (cont bool, err error) {
 	r := plan.NewRunner()
 	if !r.Bind(ins) {
-		return true
+		return true, nil
 	}
-	cont := true
+	r.SetContext(ctx)
+	cont = true
 	r.Run(shard, nshards, func(regs []logic.Term) bool {
 		if opts.FilterNulls {
 			for _, h := range plan.head {
@@ -272,7 +306,7 @@ func runPlanShard(plan *Plan, ins *storage.Instance, opts Options, shard, nshard
 		}
 		return true
 	})
-	return cont
+	return cont, r.Err()
 }
 
 // Holds reports whether a boolean query (arity 0) is satisfied.

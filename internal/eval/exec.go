@@ -8,9 +8,18 @@
 package eval
 
 import (
+	"context"
+
 	"repro/internal/logic"
 	"repro/internal/storage"
 )
+
+// cancelCheckMask amortizes context checks over the candidate loop: the
+// deadline is polled once every cancelCheckMask+1 candidate tuples, so the
+// per-tuple cost of cancellation support is one increment and one masked
+// compare — the zero-alloc hot loop stays zero-alloc and branch-predictable,
+// while a canceled enumeration still aborts within a few thousand tuples.
+const cancelCheckMask = 0x0FFF
 
 // cursor is the iteration state of one join level.
 type cursor struct {
@@ -31,6 +40,12 @@ type Runner struct {
 	regs []logic.Term
 	curs []cursor
 	rels []*storage.Relation
+
+	// ctx, when non-nil, is polled (amortized, see cancelCheckMask) during
+	// enumeration; on cancellation Run returns false and Err reports why.
+	ctx  context.Context
+	tick uint32
+	err  error
 }
 
 // NewRunner allocates the execution state for the plan.
@@ -41,6 +56,40 @@ func (p *Plan) NewRunner() *Runner {
 		curs: make([]cursor, len(p.atoms)),
 		rels: make([]*storage.Relation, len(p.atoms)),
 	}
+}
+
+// SetContext arms the runner with a cancellation context: Run (and RunTuple)
+// poll it at amortized intervals and abort the enumeration when it is
+// canceled, after which Err reports the cause. A nil (or Background) context
+// disarms the checks entirely — the enumeration loop then pays a single
+// pointer compare per polled candidate. SetContext also clears any previous
+// cancellation, so a reused runner starts clean.
+func (r *Runner) SetContext(ctx context.Context) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // not cancelable: skip the polling entirely
+	}
+	r.ctx = ctx
+	r.err = nil
+	r.tick = 0
+}
+
+// Err returns the context error that aborted the last enumeration, or nil if
+// it ran to completion (or was stopped by yield).
+func (r *Runner) Err() error { return r.err }
+
+// canceled polls the armed context once every cancelCheckMask+1 calls.
+func (r *Runner) canceled() bool {
+	if r.ctx == nil {
+		return false
+	}
+	if r.tick++; r.tick&cancelCheckMask != 0 {
+		return false
+	}
+	if err := r.ctx.Err(); err != nil {
+		r.err = err
+		return true
+	}
+	return false
 }
 
 // Bind resolves the plan's relations against ins, reporting whether every
@@ -98,7 +147,9 @@ func (r *Runner) RunTuple(tuple storage.Tuple, yield func(regs []logic.Term) boo
 // returns false (Run then returns false). Shard k of nshards restricts the
 // outermost atom to every nshards-th candidate, so the shards partition the
 // match space exactly. The register slice passed to yield is reused across
-// calls — callers must copy what they keep.
+// calls — callers must copy what they keep. A runner armed with SetContext
+// additionally aborts (returning false, with Err set) when its context is
+// canceled; the poll is amortized so the hot loop stays allocation-free.
 func (r *Runner) Run(shard, nshards int, yield func(regs []logic.Term) bool) bool {
 	atoms := r.plan.atoms
 	if len(atoms) == 0 {
@@ -111,6 +162,9 @@ func (r *Runner) Run(shard, nshards int, yield func(regs []logic.Term) bool) boo
 		cur := &r.curs[depth]
 		matched := false
 		for cur.pos < cur.n {
+			if r.canceled() {
+				return false
+			}
 			i := cur.pos
 			cur.pos += cur.stride
 			var tuple storage.Tuple

@@ -20,6 +20,8 @@
 package rewrite
 
 import (
+	"context"
+
 	"repro/internal/dependency"
 	"repro/internal/logic"
 	"repro/internal/query"
@@ -64,8 +66,12 @@ type Result struct {
 	// UCQ is the computed rewriting (pruned of subsumed disjuncts).
 	UCQ *query.UCQ
 	// Complete reports whether the rewriting reached a fixpoint. When
-	// false, budgets were hit: the UCQ is sound but may miss answers.
+	// false, budgets were hit (or the run was canceled): the UCQ is sound
+	// but may miss answers.
 	Complete bool
+	// Err is the context error when the run was aborted by cancellation or
+	// deadline (RewriteCtx / RewriteUCQCtx); Complete is then false.
+	Err error
 	// Generated counts every CQ produced, including pruned duplicates.
 	Generated int
 	// Kept is the number of disjuncts in the final UCQ.
@@ -86,8 +92,22 @@ func Rewrite(q *query.CQ, rules *dependency.Set, opts Options) *Result {
 	return RewriteUCQ(&query.UCQ{CQs: []*query.CQ{q}}, rules, opts)
 }
 
+// RewriteCtx is Rewrite under a cancellation context: the pool loop checks
+// ctx between entries, so a canceled or deadline-expired run stops after the
+// current entry's rule applications. The returned Result is still sound
+// (every kept disjunct only returns certain answers) but Complete is false
+// and Err carries the context error.
+func RewriteCtx(ctx context.Context, q *query.CQ, rules *dependency.Set, opts Options) *Result {
+	return RewriteUCQCtx(ctx, &query.UCQ{CQs: []*query.CQ{q}}, rules, opts)
+}
+
 // RewriteUCQ computes the UCQ rewriting of a union of CQs.
 func RewriteUCQ(u *query.UCQ, rules *dependency.Set, opts Options) *Result {
+	return RewriteUCQCtx(context.Background(), u, rules, opts)
+}
+
+// RewriteUCQCtx is RewriteUCQ under a cancellation context; see RewriteCtx.
+func RewriteUCQCtx(ctx context.Context, u *query.UCQ, rules *dependency.Set, opts Options) *Result {
 	opts = opts.withDefaults()
 	st := &state{opts: opts, rules: rules, gen: logic.NewVarGen("rw"),
 		byKey: make(map[string]int)}
@@ -97,7 +117,15 @@ func RewriteUCQ(u *query.UCQ, rules *dependency.Set, opts Options) *Result {
 	}
 
 	res := &Result{Complete: true}
+	done := ctx.Done()
 	for st.cursor < len(st.pool) {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				res.Complete = false
+				res.Err = err
+				break
+			}
+		}
 		entry := st.pool[st.cursor]
 		st.cursor++
 		if entry.dead {

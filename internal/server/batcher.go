@@ -1,0 +1,152 @@
+// Write batching: concurrent fact insertions against one ontology are
+// coalesced into a single staged batch per chase delta. The ontology's write
+// pipeline is single-writer (serialized under its writer lock), so N
+// concurrent POST /facts requests would otherwise queue N mutations, each
+// paying one snapshot publication and one incremental chase. The batcher
+// turns that convoy into coordination-avoiding batches: while one flush is
+// inside the pipeline, every arriving request parks its facts on a pending
+// queue, and the next flush stages the union as one mutation — one
+// validation pass, one delta chase, one copy-on-write publication for the
+// whole group. Under contention the batch size grows with the arrival rate,
+// so throughput degrades gracefully instead of collapsing into lock convoy.
+package server
+
+import (
+	"context"
+	"sync"
+
+	"repro"
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+// batcher coalesces AddFacts calls for one ontology.
+type batcher struct {
+	ont *repro.Ontology
+
+	mu       sync.Mutex
+	pending  []*writeReq
+	flushing bool
+}
+
+// writeReq is one parked request: its parsed facts and the channel its
+// caller blocks on.
+type writeReq struct {
+	ctx   context.Context
+	facts []logic.Atom
+	done  chan writeResult
+}
+
+// writeResult is what a parked caller receives.
+type writeResult struct {
+	added     int // genuinely new facts across the whole coalesced batch
+	coalesced int // how many requests shared the batch (1 = ran alone)
+	err       error
+}
+
+func newBatcher(ont *repro.Ontology) *batcher {
+	return &batcher{ont: ont}
+}
+
+// AddFacts inserts the facts (ontology text syntax), coalescing with
+// concurrent callers. The returned added count is the number of genuinely
+// new base facts the whole coalesced batch contributed — duplicates across
+// coalesced requests are indistinguishable by design (they would also be
+// indistinguishable if the requests had raced sequentially).
+//
+// Cancellation semantics: a caller whose ctx expires while parked stops
+// waiting and gets its context error, but the batch its facts joined may
+// still commit — exactly like a database client disconnecting after issuing
+// a statement. The flush itself runs under the batch's combined context; a
+// flush aborted mid-chase rolls back (AddFactAtoms) and every member is
+// retried individually under its own ctx, so one canceled or malformed
+// member cannot fail its neighbors.
+func (b *batcher) AddFacts(ctx context.Context, src string) (writeResult, error) {
+	facts, err := parser.ParseFacts(src)
+	if err != nil {
+		return writeResult{}, err
+	}
+	if len(facts) == 0 {
+		return writeResult{coalesced: 1}, nil
+	}
+	req := &writeReq{ctx: ctx, facts: facts, done: make(chan writeResult, 1)}
+
+	b.mu.Lock()
+	b.pending = append(b.pending, req)
+	if b.flushing {
+		// A flusher is inside the pipeline; it (or its successor) will pick
+		// this request up. Park.
+		b.mu.Unlock()
+		select {
+		case res := <-req.done:
+			return res, res.err
+		case <-ctx.Done():
+			return writeResult{}, ctx.Err()
+		}
+	}
+	b.flushing = true
+	b.mu.Unlock()
+
+	for {
+		b.mu.Lock()
+		batch := b.pending
+		b.pending = nil
+		if len(batch) == 0 {
+			b.flushing = false
+			b.mu.Unlock()
+			break
+		}
+		b.mu.Unlock()
+		b.flush(batch)
+	}
+
+	// Our own request was part of some batch this loop flushed.
+	res := <-req.done
+	return res, res.err
+}
+
+// flush runs one coalesced batch through the mutation pipeline and delivers
+// results to every member.
+func (b *batcher) flush(batch []*writeReq) {
+	if len(batch) == 1 {
+		req := batch[0]
+		added, err := b.ont.AddFactAtoms(req.ctx, req.facts)
+		req.done <- writeResult{added: added, coalesced: 1, err: err}
+		return
+	}
+	// Merge the members' facts into one staged batch. Members whose ctx is
+	// already done are failed immediately instead of joining (their caller
+	// has already stopped waiting).
+	live := batch[:0]
+	var merged []logic.Atom
+	for _, req := range batch {
+		if err := req.ctx.Err(); err != nil {
+			req.done <- writeResult{err: err}
+			continue
+		}
+		live = append(live, req)
+		merged = append(merged, req.facts...)
+	}
+	if len(live) == 0 {
+		return
+	}
+	// The batch must not die because one member's deadline is short: it runs
+	// under a context detached from any single member, and members that time
+	// out stop waiting on their own (see AddFacts). Per-tuple attribution is
+	// deliberately not reconstructed — the combined added count is reported
+	// to every member.
+	added, err := b.ont.AddFactAtoms(context.WithoutCancel(live[0].ctx), merged)
+	if err == nil {
+		for _, req := range live {
+			req.done <- writeResult{added: added, coalesced: len(live)}
+		}
+		return
+	}
+	// The coalesced mutation was rejected or aborted as a whole (staging is
+	// all-or-nothing). Retry each member alone under its own ctx so a single
+	// bad batch member cannot poison its neighbors.
+	for _, req := range live {
+		added, rerr := b.ont.AddFactAtoms(req.ctx, req.facts)
+		req.done <- writeResult{added: added, coalesced: 1, err: rerr}
+	}
+}

@@ -31,6 +31,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -147,6 +148,14 @@ type classEntry struct {
 // provenance-compaction sweeps (see SetCompactEvery).
 const DefaultCompactEvery = 64
 
+// New wires an already-built rule set and database instance into an
+// Ontology — the programmatic counterpart of Parse for callers (servers,
+// generators, tests) that assemble components directly. The Ontology takes
+// ownership of data: mutate it only through the Ontology afterwards.
+func New(rules *dependency.Set, data *storage.Instance) *Ontology {
+	return newOntology(rules, data)
+}
+
 // newOntology wires a rule set and an instance into an Ontology.
 func newOntology(rules *dependency.Set, data *storage.Instance) *Ontology {
 	o := &Ontology{data: data, compactEvery: DefaultCompactEvery}
@@ -191,7 +200,16 @@ func ParsePlanner(s string) (Planner, error) { return eval.ParsePlanner(s) }
 // compiled-plan cache: the UCQ is compiled once per (canonical query,
 // planner, snapshot) and repeated queries run the cached plans directly.
 func (o *Ontology) evalUCQ(u *query.UCQ, ins *storage.Instance, opts eval.Options) *eval.Answers {
-	return eval.RunPlans(o.compiledPlans(u, ins, opts.Planner), u.Arity(), ins, opts)
+	ans, _ := o.evalUCQCtx(context.Background(), u, ins, opts)
+	return ans
+}
+
+// evalUCQCtx is evalUCQ under a cancellation context: the executor polls ctx
+// at amortized intervals, so a canceled or deadline-expired evaluation stops
+// promptly and returns the context error. The snapshot being immutable,
+// abandoning an evaluation needs no cleanup.
+func (o *Ontology) evalUCQCtx(ctx context.Context, u *query.UCQ, ins *storage.Instance, opts eval.Options) (*eval.Answers, error) {
+	return eval.RunPlansCtx(ctx, o.compiledPlans(u, ins, opts.Planner), u.Arity(), ins, opts)
 }
 
 // compiledPlans returns the plans for u over ins, from the cache when warm.
@@ -405,8 +423,23 @@ type mutationResult struct {
 //     fact deltas, the repaired materialization is published atomically —
 //     concurrent readers keep the previous snapshot throughout — and every
 //     compactEvery-th mutation first runs the generational provenance sweep.
-func (o *Ontology) mutate(mut mutation) (mutationResult, error) {
+//
+// Cancellation is honored at step boundaries and inside every chase-driven
+// apply step (the engines poll ctx at amortized intervals). An aborted
+// mutation publishes nothing and rolls the canonical base data back to its
+// pre-mutation contents — facts it had inserted are removed again, facts it
+// had removed are re-inserted — so subsequent answers are identical to ones
+// computed before the mutation started. The chase engine state a canceled
+// step may have half-repaired is discarded along with the cached
+// materialization (rebuilt lazily from the restored base data). Once every
+// step has completed, the mutation commits even if ctx expires during
+// publication — like a database commit, the point of no return is the start
+// of the publish phase.
+func (o *Ontology) mutate(ctx context.Context, mut mutation) (mutationResult, error) {
 	var res mutationResult
+	if err := ctx.Err(); err != nil {
+		return res, err // strict no-op: nothing staged, nothing touched
+	}
 	o.wmu.Lock()
 	defer o.wmu.Unlock()
 	o.dropStaleSnapshots()
@@ -447,13 +480,22 @@ func (o *Ontology) mutate(mut mutation) (mutationResult, error) {
 		// Future builds must record provenance so later rule removals can
 		// repair incrementally instead of rebuilding (sticky, like DeleteFact).
 		o.wantProv.Store(true)
-		o.applyRuleDrop(w, afterDrop, dropIdx)
+		o.applyRuleDrop(ctx, w, afterDrop, dropIdx)
 	}
 	if len(mut.addRules) > 0 {
-		o.applyRuleAdd(w, newRules, afterDrop.Len())
+		o.applyRuleAdd(ctx, w, newRules, afterDrop.Len())
+	}
+	if w.ctxErr != nil {
+		// A rule step was canceled mid-repair. No base data has changed yet;
+		// discard the poisoned engine state and publish nothing.
+		return mutationResult{}, o.abortMutation(w, nil, nil)
 	}
 	var removed []logic.Atom
 	if len(mut.delFacts) > 0 {
+		if err := ctx.Err(); err != nil {
+			w.ctxErr = err // canceled between steps: base data still untouched
+			return mutationResult{}, o.abortMutation(w, nil, nil)
+		}
 		o.mu.Lock()
 		for _, f := range mut.delFacts {
 			// Remove is idempotent: a duplicated fact in the batch removes once.
@@ -465,11 +507,18 @@ func (o *Ontology) mutate(mut mutation) (mutationResult, error) {
 		res.removedFacts = len(removed)
 		if len(removed) > 0 {
 			o.wantProv.Store(true)
-			o.applyFactDelete(w, newRules, removed)
+			o.applyFactDelete(ctx, w, newRules, removed)
+			if w.ctxErr != nil {
+				return mutationResult{}, o.abortMutation(w, nil, removed)
+			}
 		}
 	}
 	var added []logic.Atom
 	if len(stagedAdds) > 0 {
+		if err := ctx.Err(); err != nil {
+			w.ctxErr = err
+			return mutationResult{}, o.abortMutation(w, nil, removed)
+		}
 		var err error
 		if added, _, err = o.commitInserts(stagedAdds); err != nil {
 			// Unreachable after staging; commitInserts rolled the batch back.
@@ -480,7 +529,10 @@ func (o *Ontology) mutate(mut mutation) (mutationResult, error) {
 			return res, err
 		}
 		res.addedFacts = len(added)
-		o.applyFactInsert(w, newRules, added)
+		o.applyFactInsert(ctx, w, newRules, added)
+		if w.ctxErr != nil {
+			return mutationResult{}, o.abortMutation(w, added, removed)
+		}
 	}
 
 	// --- publish ---
@@ -518,6 +570,37 @@ type matWork struct {
 	had           bool // a materialization was published at entry
 	touched       bool // at least one step edited the work-set
 	err           error
+	// ctxErr is the context error that aborted an apply step; when set the
+	// mutation must roll back and publish nothing (see Ontology.abortMutation).
+	ctxErr error
+}
+
+// abortMutation unwinds a mutation whose apply step was canceled: base facts
+// the mutation inserted are removed again, base facts it removed are
+// re-inserted, and any chase engine state a canceled step may have touched is
+// discarded together with the cached materialization (the canceled round
+// never merged, so the published instance itself was never corrupted — but
+// the engine's fired-trigger memory and provenance are mid-repair and cannot
+// be trusted). The published base snapshot self-invalidates through the
+// mutation counter. The next answer rebuilds from the restored base data,
+// yielding exactly the pre-mutation answers. Requires o.wmu.
+func (o *Ontology) abortMutation(w *matWork, added, removed []logic.Atom) error {
+	if len(added) > 0 || len(removed) > 0 {
+		o.mu.Lock()
+		for _, a := range added {
+			o.data.Remove(a)
+		}
+		for _, a := range removed {
+			// Re-insert cannot fail: the fact was stored under this arity
+			// moments ago and o.wmu serializes writers.
+			o.data.Insert(a)
+		}
+		o.mu.Unlock()
+	}
+	if w.had {
+		o.mat.Store(nil)
+	}
+	return w.ctxErr
 }
 
 // beginMatWork loads the published materialization and opens a copy-on-write
@@ -544,8 +627,15 @@ func (w *matWork) drop() {
 	w.touched = false
 }
 
-// record folds one apply step's chase increment into the work-set.
+// record folds one apply step's chase increment into the work-set. A step
+// aborted by context cancellation (res.Err) poisons the work-set instead:
+// the mutation unwinds through Ontology.abortMutation.
 func (w *matWork) record(res *chase.Result) {
+	if res.Err != nil {
+		w.ctxErr = res.Err
+		w.drop()
+		return
+	}
 	w.touched = true
 	w.terminated = res.Terminated
 	w.steps += res.Steps
@@ -570,11 +660,11 @@ func (w *matWork) repairableWork() bool {
 // applyRuleDrop repairs the work-set after a rule removal: every fact whose
 // provenance cites the removed rule is over-deleted, survivors re-derived
 // against the surviving set, stored rule indices remapped. Requires o.wmu.
-func (o *Ontology) applyRuleDrop(w *matWork, afterDrop *dependency.Set, dropIdx int) {
+func (o *Ontology) applyRuleDrop(ctx context.Context, w *matWork, afterDrop *dependency.Set, dropIdx int) {
 	if !w.repairableWork() {
 		return
 	}
-	dres, err := w.state.DeleteRule(afterDrop, w.ins, dropIdx, o.data)
+	dres, err := w.state.DeleteRuleCtx(ctx, afterDrop, w.ins, dropIdx, o.data)
 	if err != nil {
 		w.drop()
 		return
@@ -585,7 +675,7 @@ func (o *Ontology) applyRuleDrop(w *matWork, afterDrop *dependency.Set, dropIdx 
 // applyRuleAdd extends the work-set with newly appended rules by resuming
 // the chase with the whole instance as the delta against only those rules —
 // work proportional to what the new rules derive. Requires o.wmu.
-func (o *Ontology) applyRuleAdd(w *matWork, newRules *dependency.Set, firstNew int) {
+func (o *Ontology) applyRuleAdd(ctx context.Context, w *matWork, newRules *dependency.Set, firstNew int) {
 	if !w.live {
 		return
 	}
@@ -593,16 +683,16 @@ func (o *Ontology) applyRuleAdd(w *matWork, newRules *dependency.Set, firstNew i
 		w.drop() // a truncated cache cannot be extended soundly
 		return
 	}
-	w.record(w.state.ExtendRules(newRules, w.ins, firstNew))
+	w.record(w.state.ExtendRulesCtx(ctx, newRules, w.ins, firstNew))
 }
 
 // applyFactDelete repairs the work-set DRed-style after base facts were
 // removed from the canonical data. Requires o.wmu.
-func (o *Ontology) applyFactDelete(w *matWork, rules *dependency.Set, removed []logic.Atom) {
+func (o *Ontology) applyFactDelete(ctx context.Context, w *matWork, rules *dependency.Set, removed []logic.Atom) {
 	if !w.repairableWork() {
 		return
 	}
-	dres, err := w.state.Delete(rules, w.ins, removed, o.data)
+	dres, err := w.state.DeleteCtx(ctx, rules, w.ins, removed, o.data)
 	if err != nil {
 		w.drop() // the base removal stands; the next answer rebuilds
 		return
@@ -612,7 +702,7 @@ func (o *Ontology) applyFactDelete(w *matWork, rules *dependency.Set, removed []
 
 // applyFactInsert folds newly inserted base facts into the work-set by
 // resuming the chase with just those facts as the delta. Requires o.wmu.
-func (o *Ontology) applyFactInsert(w *matWork, rules *dependency.Set, added []logic.Atom) {
+func (o *Ontology) applyFactInsert(ctx context.Context, w *matWork, rules *dependency.Set, added []logic.Atom) {
 	if !w.live {
 		return
 	}
@@ -620,7 +710,7 @@ func (o *Ontology) applyFactInsert(w *matWork, rules *dependency.Set, added []lo
 		w.drop() // a truncated cache cannot be extended soundly
 		return
 	}
-	res, err := w.state.Extend(rules, w.ins, added)
+	res, err := w.state.ExtendCtx(ctx, rules, w.ins, added)
 	if err != nil {
 		w.drop()
 		w.err = err
@@ -660,12 +750,31 @@ func (o *Ontology) checkRuleArities(rules *dependency.Set) error {
 // readers keep evaluating over the previous snapshot meanwhile.
 // Classification is unaffected (it depends on rules only).
 func (o *Ontology) AddFact(src string) error {
+	return o.AddFactCtx(context.Background(), src)
+}
+
+// AddFactCtx is AddFact under a cancellation context: a canceled or
+// deadline-expired insertion aborts mid-chase, rolls the base data back and
+// publishes nothing, so subsequent answers are identical to pre-mutation
+// ones (see mutate). A ctx that is already done at entry is a strict no-op.
+func (o *Ontology) AddFactCtx(ctx context.Context, src string) error {
 	facts, err := parser.ParseFacts(src)
 	if err != nil {
 		return err
 	}
-	_, err = o.mutate(mutation{addFacts: facts})
+	_, err = o.mutate(ctx, mutation{addFacts: facts})
 	return err
+}
+
+// AddFactAtoms inserts a batch of already-parsed ground atoms under a
+// cancellation context, reporting how many were genuinely new. It is the
+// batching entry point for serving layers that coalesce concurrent writers'
+// facts into one staged batch per chase delta; semantics are exactly
+// AddFactCtx's (all-or-nothing staging, incremental delta chase, rollback on
+// cancellation).
+func (o *Ontology) AddFactAtoms(ctx context.Context, facts []logic.Atom) (int, error) {
+	res, err := o.mutate(ctx, mutation{addFacts: facts})
+	return res.addedFacts, err
 }
 
 // DeleteFact removes ground base facts, parsed like AddFact's input, and
@@ -679,11 +788,18 @@ func (o *Ontology) AddFact(src string) error {
 // chase would keep it. Concurrent readers keep the previous snapshot until
 // the repaired one is published.
 func (o *Ontology) DeleteFact(src string) (int, error) {
+	return o.DeleteFactCtx(context.Background(), src)
+}
+
+// DeleteFactCtx is DeleteFact under a cancellation context: a canceled
+// DRed repair re-inserts the removed base facts and publishes nothing, so
+// the deletion either completes in full or observably never happened.
+func (o *Ontology) DeleteFactCtx(ctx context.Context, src string) (int, error) {
 	facts, err := parser.ParseFacts(src)
 	if err != nil {
 		return 0, err
 	}
-	res, err := o.mutate(mutation{delFacts: facts})
+	res, err := o.mutate(ctx, mutation{delFacts: facts})
 	return res.removedFacts, err
 }
 
@@ -699,11 +815,18 @@ func (o *Ontology) DeleteFact(src string) (int, error) {
 // (classification, compiled plans) are epoch-invalidated; concurrent
 // readers keep answering over the previous snapshot throughout.
 func (o *Ontology) AddRule(src string) error {
+	return o.AddRuleCtx(context.Background(), src)
+}
+
+// AddRuleCtx is AddRule under a cancellation context: a canceled extension
+// publishes neither the rule nor any half-derived consequences — the rule
+// set, snapshots and answers stay exactly pre-mutation.
+func (o *Ontology) AddRuleCtx(ctx context.Context, src string) error {
 	rule, err := parser.ParseRule(src)
 	if err != nil {
 		return err
 	}
-	_, err = o.mutate(mutation{addRules: []*dependency.TGD{rule}})
+	_, err = o.mutate(ctx, mutation{addRules: []*dependency.TGD{rule}})
 	return err
 }
 
@@ -718,7 +841,14 @@ func (o *Ontology) AddRule(src string) error {
 // DeleteFact), so later removals repair incrementally. Concurrent readers
 // never block and keep the previous snapshot until the repair publishes.
 func (o *Ontology) RemoveRule(label string) error {
-	_, err := o.mutate(mutation{dropRule: label})
+	return o.RemoveRuleCtx(context.Background(), label)
+}
+
+// RemoveRuleCtx is RemoveRule under a cancellation context: a canceled
+// repair keeps the rule — the set is only swapped at publish time, which an
+// aborted mutation never reaches.
+func (o *Ontology) RemoveRuleCtx(ctx context.Context, label string) error {
+	_, err := o.mutate(ctx, mutation{dropRule: label})
 	return err
 }
 
@@ -939,6 +1069,22 @@ func (o *Ontology) Rewrite(querySrc string) (*Rewriting, error) {
 	return o.RewriteCQ(q), nil
 }
 
+// RewriteCtx is Rewrite under a cancellation context: the rewriting loop
+// checks ctx between pool entries, so a canceled or deadline-expired
+// compilation stops promptly and returns the context error instead of a
+// partial rewriting.
+func (o *Ontology) RewriteCtx(ctx context.Context, querySrc string) (*Rewriting, error) {
+	q, err := ParseQuery(querySrc)
+	if err != nil {
+		return nil, err
+	}
+	rw := o.rewriteCQCtx(ctx, q, 0)
+	if rw.Stats.Err != nil {
+		return nil, rw.Stats.Err
+	}
+	return rw, nil
+}
+
 // RewriteCQ compiles an already-parsed query.
 func (o *Ontology) RewriteCQ(q *query.CQ) *Rewriting {
 	return o.rewriteCQ(q, 0)
@@ -947,11 +1093,18 @@ func (o *Ontology) RewriteCQ(q *query.CQ) *Rewriting {
 // rewriteCQ compiles q with the default engine options, optionally
 // overriding the kept-CQ budget (0 keeps the default).
 func (o *Ontology) rewriteCQ(q *query.CQ, maxCQs int) *Rewriting {
+	return o.rewriteCQCtx(context.Background(), q, maxCQs)
+}
+
+// rewriteCQCtx compiles q under ctx with the default engine options,
+// optionally overriding the kept-CQ budget (0 keeps the default). A canceled
+// run surfaces through Stats.Err with Complete false.
+func (o *Ontology) rewriteCQCtx(ctx context.Context, q *query.CQ, maxCQs int) *Rewriting {
 	ropts := rewrite.DefaultOptions()
 	if maxCQs > 0 {
 		ropts.MaxCQs = maxCQs
 	}
-	res := rewrite.Rewrite(q, o.rules.Load(), ropts)
+	res := rewrite.RewriteCtx(ctx, q, o.rules.Load(), ropts)
 	return &Rewriting{UCQ: res.UCQ, Complete: res.Complete, Stats: res}
 }
 
@@ -1030,6 +1183,18 @@ func (o *Ontology) AnswerMode(querySrc string, mode AnswerMode) (*Answers, error
 
 // AnswerOptions is Answer with explicit technique and parallelism.
 func (o *Ontology) AnswerOptions(querySrc string, opts Options) (*Answers, error) {
+	return o.AnswerCtx(context.Background(), querySrc, opts)
+}
+
+// AnswerCtx computes the certain answers under a cancellation context: the
+// context's deadline or cancellation aborts every phase of answering — the
+// rewriting loop, a cold chase materialization build, and the join execution
+// itself (polled at amortized intervals, so the zero-allocation hot path is
+// preserved) — returning the context error promptly. An aborted cold build
+// publishes nothing and leaves every published snapshot untouched, so a
+// timed-out query never corrupts the ontology's caches: the next call simply
+// resumes from the same pre-call state.
+func (o *Ontology) AnswerCtx(ctx context.Context, querySrc string, opts Options) (*Answers, error) {
 	q, err := ParseQuery(querySrc)
 	if err != nil {
 		return nil, err
@@ -1046,13 +1211,16 @@ func (o *Ontology) AnswerOptions(querySrc string, opts Options) (*Answers, error
 	evalOpts := eval.Options{FilterNulls: true, Parallelism: opts.Parallelism, Planner: opts.Planner}
 	switch mode {
 	case ModeRewrite:
-		rw := o.rewriteCQ(q, opts.MaxRewriteCQs)
+		rw := o.rewriteCQCtx(ctx, q, opts.MaxRewriteCQs)
+		if rwErr := rw.Stats.Err; rwErr != nil {
+			return nil, rwErr // canceled mid-rewriting; not a budget miss
+		}
 		if !rw.Complete {
 			if auto {
 				// ModeAuto promised an answer, not a technique: when the
 				// rewriting hits its budget, fall back to materialization
 				// instead of surfacing the rewriting error.
-				return o.answerChase(q, opts, evalOpts)
+				return o.answerChase(ctx, q, opts, evalOpts)
 			}
 			return nil, fmt.Errorf("repro: rewriting did not reach a fixpoint (budget hit); use ModeChase")
 		}
@@ -1060,9 +1228,9 @@ func (o *Ontology) AnswerOptions(querySrc string, opts Options) (*Answers, error
 		// slow evaluation neither blocks writers nor queues other readers
 		// behind them. Repeated queries rewrite to the same UCQ, so the
 		// compiled plans come from the cache.
-		return o.evalUCQ(rw.UCQ, o.snapshotBase(), evalOpts), nil
+		return o.evalUCQCtx(ctx, rw.UCQ, o.snapshotBase(), evalOpts)
 	case ModeChase:
-		return o.answerChase(q, opts, evalOpts)
+		return o.answerChase(ctx, q, opts, evalOpts)
 	default:
 		return nil, fmt.Errorf("repro: unknown answer mode %d", mode)
 	}
@@ -1076,11 +1244,11 @@ func (o *Ontology) AnswerOptions(querySrc string, opts Options) (*Answers, error
 // (single-flight, serialized with writers — so the base cannot change
 // underneath) and always serve their own result, so a build is never wasted
 // and nothing can starve.
-func (o *Ontology) answerChase(q *query.CQ, opts Options, evalOpts eval.Options) (*Answers, error) {
+func (o *Ontology) answerChase(ctx context.Context, q *query.CQ, opts Options, evalOpts eval.Options) (*Answers, error) {
 	copts := opts.chaseOptions()
 	u := query.MustNewUCQ(q)
 
-	if ans, err, ok := o.answerFromMat(u, copts, evalOpts); ok {
+	if ans, err, ok := o.answerFromMat(ctx, u, copts, evalOpts); ok {
 		return ans, err
 	}
 
@@ -1091,7 +1259,7 @@ func (o *Ontology) answerChase(q *query.CQ, opts Options, evalOpts eval.Options)
 		if !m.terminated {
 			return nil, budgetErr(m.lastSteps)
 		}
-		return o.evalUCQ(u, m.ins, evalOpts), nil
+		return o.evalUCQCtx(ctx, u, m.ins, evalOpts)
 	}
 	o.mu.RLock()
 	ins := o.data.Clone()
@@ -1102,7 +1270,14 @@ func (o *Ontology) answerChase(q *query.CQ, opts Options, evalOpts eval.Options)
 	// current at publication.
 	copts.TrackProvenance = o.wantProv.Load()
 	st := chase.NewState(copts)
-	res := st.Resume(o.rules.Load(), ins, ins)
+	res := st.ResumeCtx(ctx, o.rules.Load(), ins, ins)
+	if res.Err != nil {
+		// Canceled mid-build: the half-chased clone and its engine state are
+		// simply discarded — nothing was published, every snapshot is as it
+		// was before the call.
+		o.wmu.Unlock()
+		return nil, res.Err
+	}
 	// Publish unless the data was mutated out-of-band while we chased (a
 	// legitimate writer cannot have: we hold wmu). Either way, serve our own
 	// build — it is a valid chase of the data as of the clone.
@@ -1117,15 +1292,15 @@ func (o *Ontology) answerChase(q *query.CQ, opts Options, evalOpts eval.Options)
 	if !published {
 		// The instance was never published, so no later query can hit a cache
 		// entry pinning it; compile directly instead of polluting the cache.
-		return eval.RunPlans(eval.CompileUCQ(u, ins, evalOpts.Planner), u.Arity(), ins, evalOpts), nil
+		return eval.RunPlansCtx(ctx, eval.CompileUCQ(u, ins, evalOpts.Planner), u.Arity(), ins, evalOpts)
 	}
-	return o.evalUCQ(u, ins, evalOpts), nil
+	return o.evalUCQCtx(ctx, u, ins, evalOpts)
 }
 
 // answerFromMat serves the query from the published materialization when it
 // is usable for these budgets; evaluation runs with no lock held. The third
 // return value reports whether the cache could serve the request at all.
-func (o *Ontology) answerFromMat(u *query.UCQ, copts chase.Options, evalOpts eval.Options) (*Answers, error, bool) {
+func (o *Ontology) answerFromMat(ctx context.Context, u *query.UCQ, copts chase.Options, evalOpts eval.Options) (*Answers, error, bool) {
 	m := o.mat.Load()
 	if m == nil || !m.usable(copts, o.data.Mutations()) {
 		return nil, nil, false
@@ -1133,7 +1308,8 @@ func (o *Ontology) answerFromMat(u *query.UCQ, copts chase.Options, evalOpts eva
 	if !m.terminated {
 		return nil, budgetErr(m.lastSteps), true
 	}
-	return o.evalUCQ(u, m.ins, evalOpts), nil, true
+	ans, err := o.evalUCQCtx(ctx, u, m.ins, evalOpts)
+	return ans, err, true
 }
 
 func budgetErr(steps int) error {
@@ -1202,10 +1378,19 @@ func (o *Ontology) Chase() *chase.Result {
 
 // ChaseOptions is Chase with explicit worker count and budgets.
 func (o *Ontology) ChaseOptions(opts Options) *chase.Result {
+	return o.ChaseCtx(context.Background(), opts)
+}
+
+// ChaseCtx is ChaseOptions under a cancellation context: a canceled run
+// stops at the current round barrier without merging it and reports the
+// context error in Result.Err — the returned instance is a valid chase
+// prefix of the data, and the ontology's own caches are untouched (the run
+// is always fresh and private).
+func (o *Ontology) ChaseCtx(ctx context.Context, opts Options) *chase.Result {
 	// Read lock suffices: Clone synchronizes with concurrent lazy index
 	// builds itself (it ensures the index before copying it).
 	o.mu.RLock()
 	data := o.data.Clone()
 	o.mu.RUnlock()
-	return chase.NewState(opts.chaseOptions()).Resume(o.rules.Load(), data, data)
+	return chase.NewState(opts.chaseOptions()).ResumeCtx(ctx, o.rules.Load(), data, data)
 }

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,6 +20,14 @@ import (
 // copy-on-write — the genuinely new tuples become the delta of a resumed
 // chase, and concurrent readers keep the previous snapshot meanwhile.
 func (o *Ontology) LoadCSV(pred string, r io.Reader) (added int, err error) {
+	return o.LoadCSVCtx(context.Background(), pred, r)
+}
+
+// LoadCSVCtx is LoadCSV under a cancellation context: a load canceled
+// mid-chase rolls the inserted tuples back out of the base data and
+// publishes nothing, so the bulk load either lands in full or observably
+// never happened (see AddFactCtx).
+func (o *Ontology) LoadCSVCtx(ctx context.Context, pred string, r io.Reader) (added int, err error) {
 	// Stage into a private instance first so parse errors leave the
 	// ontology untouched and the new facts are known for the delta; the
 	// batch then flows through the unified mutation pipeline, whose staging
@@ -36,7 +45,7 @@ func (o *Ontology) LoadCSV(pred string, r io.Reader) (added int, err error) {
 	for _, t := range rel.Tuples() {
 		atoms = append(atoms, logic.Atom{Pred: pred, Args: t})
 	}
-	res, err := o.mutate(mutation{addFacts: atoms})
+	res, err := o.mutate(ctx, mutation{addFacts: atoms})
 	return res.addedFacts, err
 }
 
