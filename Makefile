@@ -20,10 +20,18 @@ test:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# lint is three-legged: gofmt, stock vet, and reprovet — the repo's own
+# invariant checkers (internal/analysis) run over every package (test
+# variants included) through the `go vet -vettool` unitchecker protocol.
+# Failures print as "file:line:col: [analyzer] message".
+REPROVET := bin/reprovet
+
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
+	$(GO) build -o $(REPROVET) ./cmd/reprovet
+	$(GO) vet -vettool=$(abspath $(REPROVET)) ./...
 
 # End-to-end smoke of the HTTP serving layer: boot cmd/serve on an
 # ephemeral port, run a read, a write and a deadline-cancelled request

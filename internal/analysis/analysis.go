@@ -1,0 +1,166 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface that reprovet's checkers build on.
+//
+// The build environment has no module cache and no network, so the real
+// x/tools framework is unavailable; the five invariant checkers under
+// internal/analysis/* only need a small slice of it: an Analyzer descriptor,
+// a per-package Pass carrying parsed files plus full type information, and
+// position-addressed diagnostics. Facts, SSA, and cross-analyzer requirements
+// are deliberately out of scope.
+//
+// Two drivers execute analyzers (see internal/analysis/driver): the
+// unitchecker protocol used by `go vet -vettool=reprovet`, and a standalone
+// `go list -export`-based loader used by `reprovet ./...` and the
+// analysistest fixture runner.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //repro:allow suppression directives.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// Run applies the analyzer to a single package.
+	// Findings are delivered through pass.Report / pass.Reportf.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer with the parsed, type-checked view of a
+// single package and a sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// PkgPath is the import path of the package as the build system named
+	// it, normalized by NormalizePkgPath (test-variant decorations
+	// stripped) so path-scoped analyzers behave identically for
+	// `repro/internal/chase` and `repro/internal/chase [... .test]`.
+	PkgPath string
+
+	TypesInfo *types.Info
+
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NormalizePkgPath strips the decorations cmd/go applies to test variants:
+// `repro/internal/chase [repro/internal/chase.test]` and
+// `repro/internal/chase_test` both normalize to `repro/internal/chase`,
+// and `repro/internal/chase.test` (the synthesized main) keeps its own path.
+func NormalizePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+// HasDirective reports whether the comment group contains the given
+// directive comment (e.g. "//repro:hotpath") on a line of its own.
+// Directive comments follow the Go convention: no space after "//".
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppressions records //repro:allow directives by file, line, and analyzer.
+// A directive suppresses diagnostics from the named analyzer on its own
+// line and on the line immediately below it, so both trailing comments
+//
+//	for { // repro-style loops: //repro:allow ctxpoll bounded by counter
+//
+// and directives on the preceding line work.
+type Suppressions map[string]map[int]map[string]bool
+
+const allowPrefix = "//repro:allow "
+
+// CollectSuppressions scans the comments of files for //repro:allow
+// directives. A directive names one analyzer followed by a free-form
+// reason: `//repro:allow ctxpoll drain is bounded by the task counter`.
+// Directives without a reason are ignored (the reason is the audit trail).
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) Suppressions {
+	sup := make(Suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(text[len(allowPrefix):])
+				if len(fields) < 2 {
+					continue // analyzer name plus a reason are both required
+				}
+				pos := fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					sup[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := byLine[line]
+					if set == nil {
+						set = make(map[string]bool)
+						byLine[line] = set
+					}
+					set[fields[0]] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// Allows reports whether a diagnostic from the named analyzer at pos is
+// suppressed by a //repro:allow directive.
+func (s Suppressions) Allows(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	if len(s) == 0 {
+		return false
+	}
+	p := fset.Position(pos)
+	byLine := s[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[p.Line][analyzer]
+}
+
+// IsTestFilePos reports whether pos lies in a _test.go file. Drivers use it
+// to keep the invariant checkers focused on production code: tests routinely
+// allocate in annotated call chains and run loops without contexts.
+func IsTestFilePos(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

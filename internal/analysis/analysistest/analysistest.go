@@ -1,0 +1,136 @@
+// Package analysistest runs one analyzer over a fixture directory and
+// compares its diagnostics against `// want "regexp"` expectations in the
+// fixture source, mirroring the x/tools package of the same name.
+//
+// Fixture packages are plain directories (conventionally testdata/src/<name>
+// under the analyzer's package, which keeps the build and `go vet` away from
+// them). They may import real repro packages — imports are resolved through
+// `go list -export`, the same way the standalone reprovet driver loads
+// dependencies — and they are type-checked under a caller-chosen import
+// path, so path-scoped analyzers (ctxpoll) can be pointed at fixtures
+// masquerading as in-scope packages.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+("(?:[^"\\]|\\.)*")`)
+
+// Run analyzes the fixture directory as a package imported as importPath
+// and reports any mismatch between produced diagnostics and `// want`
+// expectations as test errors. A clean fixture simply contains no want
+// comments: any diagnostic then fails the test.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(matches)
+
+	fset := token.NewFileSet()
+	files, err := driver.ParseFiles(fset, matches)
+	if err != nil {
+		t.Fatalf("parsing fixtures: %v", err)
+	}
+
+	// Resolve fixture imports via go list -export, exactly like the
+	// standalone driver. Stdlib and repro packages both come back with
+	// export data; transitive deps ride along via -deps.
+	var imports []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path == "unsafe" || seen[path] {
+				continue
+			}
+			seen[path] = true
+			imports = append(imports, path)
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		wd, err := os.Getwd()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := driver.GoList(wd, imports...)
+		if err != nil {
+			t.Fatalf("resolving fixture imports: %v", err)
+		}
+		exports = driver.ExportMap(pkgs)
+	}
+
+	imp := driver.NewImporter(fset, nil, exports)
+	pkg, info, err := driver.TypeCheck(fset, importPath, "", files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixtures: %v", err)
+	}
+	diags, err := driver.Run(fset, files, pkg, info, importPath, []*analysis.Analyzer{a}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, name := range matches {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pattern, err := strconv.Unquote(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string %s: %v", name, i+1, m[1], err)
+			}
+			rx, err := regexp.Compile(pattern)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp: %v", name, i+1, err)
+			}
+			wants[key{name, i + 1}] = append(wants[key{name, i + 1}], rx)
+		}
+	}
+
+	matched := map[*regexp.Regexp]bool{}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		ok := false
+		for _, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				matched[rx] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			if !matched[rx] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, rx)
+			}
+		}
+	}
+}

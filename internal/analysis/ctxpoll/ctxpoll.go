@@ -1,0 +1,139 @@
+// Package ctxpoll defines an analyzer requiring every loop without a
+// statically bounded trip count, in the packages that execute or serve
+// queries, to poll for cancellation somewhere in its body.
+//
+// PR 6 threaded context cancellation through the engine by hand-placing
+// amortized polls (the executor's tick-masked Err() check, the chase's
+// round-barrier and per-firing polls, DRed's queue polls). The class of bug
+// it fixed — a loop that can spin for an input-dependent number of
+// iterations with no way to abandon it — is exactly the class a future
+// refactor reintroduces silently. This analyzer makes the convention
+// mechanical: in repro/internal/{chase,eval,rewrite,server}, a `for` loop
+// is either
+//
+//   - statically bounded: a three-clause `for i := 0; cond; post {}` or a
+//     `range` over a slice, array, map, string, or integer — the iteration
+//     space is fixed when the loop starts; or
+//   - polling: its body (at any depth, but not inside nested function
+//     literals, which have their own dynamic extent) contains a
+//     cancellation check — a call to some `.Err()` or `.Done()`, or any
+//     call whose name contains "cancel" or "poll" (the tick-masked helpers).
+//
+// Everything else is flagged. Deliberately unbounded-but-safe loops (e.g.
+// draining a queue whose length another invariant bounds) carry a
+// `//repro:allow ctxpoll <reason>` directive.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Packages lists the import paths the analyzer applies to. Fixture packages
+// type-checked by analysistest under one of these paths are checked too.
+var Packages = []string{
+	"repro/internal/chase",
+	"repro/internal/eval",
+	"repro/internal/rewrite",
+	"repro/internal/server",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "require a cancellation poll in every loop without a statically bounded trip count (internal/{chase,eval,rewrite,server})",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	inScope := false
+	for _, p := range Packages {
+		if pass.PkgPath == p {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				if !boundedFor(loop) && !polls(loop.Body) {
+					pass.Reportf(loop.For, "unbounded loop without a cancellation poll; check ctx.Err() (tick-masked is fine) on some path, or annotate //repro:allow ctxpoll <reason>")
+				}
+			case *ast.RangeStmt:
+				if !boundedRange(pass.TypesInfo, loop) && !polls(loop.Body) {
+					pass.Reportf(loop.For, "unbounded range loop (over a channel or iterator) without a cancellation poll; check ctx.Err() on some path, or annotate //repro:allow ctxpoll <reason>")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// boundedFor reports whether a three-clause loop header declares its own
+// trip accounting. `for {}` and `for cond {}` spin until some external
+// state changes and count as unbounded.
+func boundedFor(loop *ast.ForStmt) bool {
+	return loop.Cond != nil && loop.Post != nil
+}
+
+// boundedRange reports whether the ranged-over value has a fixed iteration
+// space. Channels and iterator functions yield an input-dependent, possibly
+// infinite stream; everything else (slice, array, map, string, integer) is
+// walked at most once.
+func boundedRange(info *types.Info, loop *ast.RangeStmt) bool {
+	tv, ok := info.Types[loop.X]
+	if !ok || tv.Type == nil {
+		return true // be quiet on broken code
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Chan, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// polls reports whether body contains a cancellation check outside nested
+// function literals: a call to any method named Err or Done, a receive from
+// such a call (`<-ctx.Done()` in a select), or a call whose terminal name
+// contains "cancel" or "poll" (naming convention for amortized helpers like
+// Runner.canceled).
+func polls(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate dynamic extent
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				if isPollName(fun.Sel.Name) {
+					found = true
+				}
+			case *ast.Ident:
+				if isPollName(fun.Name) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isPollName(name string) bool {
+	if name == "Err" || name == "Done" {
+		return true
+	}
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "cancel") || strings.Contains(lower, "poll")
+}

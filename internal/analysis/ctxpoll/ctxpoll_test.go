@@ -1,0 +1,28 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxpoll"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, ctxpoll.Analyzer, "testdata/src/a", "repro/internal/chase")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, ctxpoll.Analyzer, "testdata/src/clean", "repro/internal/eval")
+}
+
+// TestOutOfScope runs the violating fixture under an import path outside
+// the analyzer's scope: the same loops must produce no diagnostics, so the
+// want expectations are expected to fail — the run is inverted through a
+// probe testing.T.
+func TestOutOfScope(t *testing.T) {
+	probe := &testing.T{}
+	analysistest.Run(probe, ctxpoll.Analyzer, "testdata/src/a", "repro/internal/storage")
+	if !probe.Failed() {
+		t.Fatal("fixture wants were satisfied out of scope: analyzer ran where it should not")
+	}
+}

@@ -1,0 +1,57 @@
+// Package a seeds ctxpoll violations. The analysistest runner type-checks
+// it under an in-scope import path (repro/internal/chase), so its loops are
+// subject to the poll-or-bound rule.
+package a
+
+func drainForever(ch chan int) int {
+	total := 0
+	for { // want "unbounded loop without a cancellation poll"
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+func collatz(n int) int {
+	steps := 0
+	for n > 1 { // want "unbounded loop without a cancellation poll"
+		if n%2 == 0 {
+			n /= 2
+		} else {
+			n = 3*n + 1
+		}
+		steps++
+	}
+	return steps
+}
+
+func sumChannel(ch chan int) int {
+	total := 0
+	for v := range ch { // want "unbounded range loop"
+		total += v
+	}
+	return total
+}
+
+type canceler interface {
+	Err() error
+}
+
+// pollInClosureDoesNotCount: the closure's body is a separate dynamic
+// extent; a poll inside it does not cover the outer loop.
+func pollInClosureDoesNotCount(c canceler, work chan int) {
+	for { // want "unbounded loop without a cancellation poll"
+		v, ok := <-work
+		if !ok {
+			return
+		}
+		_ = func() int {
+			if c.Err() != nil {
+				return 0
+			}
+			return v
+		}
+	}
+}

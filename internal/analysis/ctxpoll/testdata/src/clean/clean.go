@@ -1,0 +1,94 @@
+// Package clean exercises the loops ctxpoll must accept in an in-scope
+// package: statically bounded trip counts, amortized (tick-masked) polls,
+// select-based polls, and explicitly waived loops.
+package clean
+
+import "context"
+
+func boundedThreeClause(xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+func boundedRange(xs []int, m map[string]int, s string) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	for _, v := range m {
+		total += v
+	}
+	for range s {
+		total++
+	}
+	for range 16 {
+		total++
+	}
+	return total
+}
+
+func polledSpin(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		if ctx.Err() != nil {
+			return total
+		}
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+type ticker struct {
+	ctx  context.Context
+	tick uint64
+}
+
+// canceled is the amortized-poll idiom: callers named like polls satisfy
+// the rule wherever they appear.
+func (t *ticker) canceled() bool {
+	if t.tick++; t.tick&0xFFF != 0 {
+		return false
+	}
+	return t.ctx.Err() != nil
+}
+
+func amortizedSpin(t *ticker, ch chan int) int {
+	total := 0
+	for v := range ch {
+		if t.canceled() {
+			return total
+		}
+		total += v
+	}
+	return total
+}
+
+func selectSpin(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v, ok := <-ch:
+			if !ok {
+				return total
+			}
+			total += v
+		}
+	}
+}
+
+func waived(ch chan struct{}) int {
+	n := 0
+	//repro:allow ctxpoll the producer closes ch after a bounded burst
+	for range ch {
+		n++
+	}
+	return n
+}

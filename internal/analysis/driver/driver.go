@@ -1,0 +1,162 @@
+// Package driver executes reprovet analyzers over type-checked packages.
+//
+// It implements the two execution modes of cmd/reprovet without any
+// dependency outside the standard library:
+//
+//   - the cmd/go unitchecker protocol (UnitMain), used by
+//     `go vet -vettool=$(BIN)/reprovet ./...`: cmd/go hands the tool one
+//     JSON config per package naming the source files and the compiler
+//     export data of every dependency;
+//
+//   - a standalone loader (RunPatterns), used by `reprovet [packages]` and
+//     by the analysistest fixture runner: `go list -export -deps -json`
+//     supplies the same export-data map for arbitrary patterns.
+//
+// Both modes type-check with go/types against gc export data via
+// go/importer, run every analyzer, and filter the findings through the
+// shared //repro:allow suppression rules.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// A Diagnostic is one reportable finding, resolved to a file position and
+// tagged with the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// NewImporter returns a types.Importer that resolves imports from gc export
+// data files. importMap translates import paths as written in source to
+// canonical package paths (vendoring); packageFile maps canonical paths to
+// export data files. Both maps follow the cmd/go vet config conventions.
+func NewImporter(fset *token.FileSet, importMap, packageFile map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := importMap[path]; ok {
+			path = canon
+		}
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// ParseFiles parses the named Go source files with comments retained.
+func ParseFiles(fset *token.FileSet, filenames []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// TypeCheck type-checks files as the package named by path, resolving
+// imports through imp. goVersion may be empty.
+func TypeCheck(fset *token.FileSet, path, goVersion string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", "amd64"),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// Run executes the analyzers over one type-checked package and returns the
+// surviving diagnostics: //repro:allow-suppressed findings and (unless
+// includeTests is set) findings positioned in _test.go files are dropped.
+// The result is sorted by position for deterministic output.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info,
+	pkgPath string, analyzers []*analysis.Analyzer, includeTests bool) ([]Diagnostic, error) {
+
+	sup := analysis.CollectSuppressions(fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			PkgPath:   analysis.NormalizePkgPath(pkgPath),
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				if sup.Allows(fset, a.Name, d.Pos) {
+					return
+				}
+				if !includeTests && analysis.IsTestFilePos(fset, d.Pos) {
+					return
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      fset.Position(d.Pos),
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+func newFileSet() *token.FileSet { return token.NewFileSet() }
+
+// trimPos shortens absolute file paths relative to the working directory so
+// lint output stays readable and clickable.
+func trimPos(pos token.Position, wd string) token.Position {
+	if wd != "" && strings.HasPrefix(pos.Filename, wd+string(os.PathSeparator)) {
+		pos.Filename = pos.Filename[len(wd)+1:]
+	}
+	return pos
+}

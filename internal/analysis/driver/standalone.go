@@ -1,0 +1,127 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// A ListedPackage is the subset of `go list -json` output the standalone
+// loader needs.
+type ListedPackage struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	DepOnly    bool
+	Export     string // export data file, from -export
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// GoList runs `go list -e -export -deps -json` for the patterns in dir and
+// returns every listed package (targets and dependencies).
+func GoList(dir string, patterns ...string) ([]*ListedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=Dir,ImportPath,Standard,DepOnly,Export,GoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*ListedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ExportMap builds the canonical-path -> export-data-file map from a go
+// list result, for use with NewImporter.
+func ExportMap(pkgs []*ListedPackage) map[string]string {
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m
+}
+
+// LoadPackage parses and type-checks the source files of one listed
+// package against the export data of its dependencies.
+func LoadPackage(fset *token.FileSet, p *ListedPackage, exports map[string]string) ([]*ast.File, *types.Package, *types.Info, error) {
+	if p.Error != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+	}
+	names := make([]string, len(p.GoFiles))
+	for i, f := range p.GoFiles {
+		names[i] = filepath.Join(p.Dir, f)
+	}
+	files, err := ParseFiles(fset, names)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Standalone mode lists packages with the module's own go version in
+	// effect; no per-package override is needed.
+	imp := NewImporter(fset, nil, exports)
+	pkg, info, err := TypeCheck(fset, p.ImportPath, "", files, imp)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, pkg, info, nil
+}
+
+// RunPatterns loads the packages matching patterns (standalone mode, via
+// `go list -export`), runs the analyzers over each, prints surviving
+// diagnostics to w, and returns how many were printed.
+func RunPatterns(w io.Writer, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := GoList(wd, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	exports := ExportMap(pkgs)
+	count := 0
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		fset := token.NewFileSet()
+		files, pkg, info, err := LoadPackage(fset, p, exports)
+		if err != nil {
+			return count, err
+		}
+		diags, err := Run(fset, files, pkg, info, p.ImportPath, analyzers, false)
+		if err != nil {
+			return count, err
+		}
+		for _, d := range diags {
+			d.Pos = trimPos(d.Pos, wd)
+			fmt.Fprintln(w, d)
+			count++
+		}
+	}
+	return count, nil
+}

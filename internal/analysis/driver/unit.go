@@ -1,0 +1,174 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// toolContentHash hashes the running executable, mirroring the build-ID
+// fingerprint cmd/go expects from -V=full so rebuilding the tool (and
+// nothing else) invalidates cached vet verdicts.
+func toolContentHash() string {
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	return string(h.Sum(nil)[:24])
+}
+
+// Config mirrors the JSON configuration cmd/go writes for vet tools
+// (cmd/go/internal/work's vetConfig / x/tools unitchecker.Config). Fields
+// this driver does not need are still declared so the decoder accepts them;
+// genuinely unknown fields are ignored by encoding/json.
+type Config struct {
+	ID           string // eg. "repro/internal/chase"
+	Compiler     string // gc
+	Dir          string // package directory
+	ImportPath   string // canonical import path, possibly test-variant decorated
+	GoVersion    string // minimum Go version, eg. "go1.24"
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string // import path as written -> canonical path
+	PackageFile map[string]string // canonical path -> export data file
+	PackageVetx map[string]string // canonical path -> vet facts file (unused: no facts)
+
+	VetxOnly   bool   // run only to produce facts for dependents
+	VetxOutput string // where to write this package's facts
+
+	SucceedOnTypecheckFailure bool
+	Standalone                bool
+}
+
+// UnitMain implements the vet tool side of the cmd/go unitchecker protocol
+// and exits the process. cmd/go invokes the tool three ways:
+//
+//	reprovet -V=full          print a version fingerprint line
+//	reprovet -flags           print the tool's flag schema (JSON, none here)
+//	reprovet <unit>.cfg       analyze one package unit
+//
+// Diagnostics go to stderr as "file:line:col: [analyzer] message" and the
+// process exits 2, which cmd/go reports as a vet failure at that position.
+func UnitMain(analyzers []*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			// cmd/go parses this line to fingerprint the tool for its vet
+			// action cache; the format must match what objabi/analysisflags
+			// print: "name version devel ... buildID=<hex of content hash>".
+			fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, toolContentHash())
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			os.Exit(0)
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s: expected a single .cfg argument from go vet (got %q)\n", progname, args)
+		os.Exit(1)
+	}
+	diags, err := runUnit(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// IsVetToolInvocation reports whether cmd/go is driving this process via the
+// unitchecker protocol, as opposed to a user running `reprovet [patterns]`.
+func IsVetToolInvocation(args []string) bool {
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full",
+			arg == "-flags" || arg == "--flags",
+			strings.HasSuffix(arg, ".cfg"):
+			return true
+		}
+	}
+	return false
+}
+
+func runUnit(cfgPath string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// The protocol requires the facts file even from fact-free tools:
+	// dependent units list it in PackageVetx. Write it before anything can
+	// fail or short-circuit.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only unit (stdlib, mostly): no diagnostics wanted,
+		// and with no facts to compute there is nothing to do.
+		return nil, nil
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		return nil, fmt.Errorf("unsupported compiler %q", cfg.Compiler)
+	}
+
+	fset := newFileSet()
+	files, err := ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	imp := NewImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	pkg, info, err := TypeCheck(fset, cfg.ImportPath, goVersionFor(cfg.GoVersion), files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	diags, err := Run(fset, files, pkg, info, cfg.ImportPath, analyzers, false)
+	if err != nil {
+		return nil, err
+	}
+	wd, _ := os.Getwd()
+	for i := range diags {
+		diags[i].Pos = trimPos(diags[i].Pos, wd)
+	}
+	return diags, nil
+}
+
+// goVersionFor sanitizes the GoVersion field: cmd/go may hand over entries
+// like "go1.24" (fine) or toolchain names go/types rejects; drop anything
+// that does not look like a plain language version.
+func goVersionFor(v string) string {
+	if strings.HasPrefix(v, "go1.") && !strings.ContainsAny(v, " -") {
+		return v
+	}
+	return ""
+}

@@ -1,0 +1,95 @@
+// Package epochcache defines an analyzer guarding the generation discipline
+// of the rules-derived caches on Ontology.
+//
+// Two caches are rebuilt lazily from the current rule set and therefore go
+// stale when rules mutate: the compiled-plan cache (`planCache`, keyed by a
+// (planEpoch, rulesEpoch) generation since PR 5) and the classification
+// cache (`class`, a classEntry pinned to the exact *dependency.Set it was
+// computed from). A reader that loads either cache but never loads the
+// generation it must validate against can serve answers computed under a
+// rule set that no longer exists.
+//
+// The analyzer is a per-function obligation check on methods and functions
+// over a type named Ontology:
+//
+//   - a function that calls `.planCache.Load()` must also call
+//     `.planEpoch.Load()` and `.rulesEpoch.Load()`;
+//   - a function that calls `.class.Load()` must also call `.rules.Load()`
+//     (classEntry validation is by rule-set pointer identity).
+//
+// Storing into the caches is not restricted here (mutpipeline and the
+// compare-and-swap publication protocol govern writes).
+package epochcache
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "epochcache",
+	Doc:  "require readers of rules-derived caches (planCache, class) to load the generation they validate against",
+	Run:  run,
+}
+
+// obligations maps a cache field to the generation fields any loading
+// function must also consult.
+var obligations = map[string][]string{
+	"planCache": {"planEpoch", "rulesEpoch"},
+	"class":     {"rules"},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// loads[field] records the first `x.<field>.Load()` position where x is
+	// an Ontology.
+	loads := make(map[string]ast.Node)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		recv, method, ok := analysis.SelectorCall(expr)
+		if !ok || method != "Load" {
+			return true
+		}
+		sel, ok := recv.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || !analysis.IsTypeNamed(base.Type, "Ontology") {
+			return true
+		}
+		if _, seen := loads[sel.Sel.Name]; !seen {
+			loads[sel.Sel.Name] = n
+		}
+		return true
+	})
+	for cache, gens := range obligations {
+		at, ok := loads[cache]
+		if !ok {
+			continue
+		}
+		for _, gen := range gens {
+			if _, ok := loads[gen]; !ok {
+				pass.Reportf(at.Pos(),
+					"%s loads the %s cache but never loads %s to validate its generation; stale entries can survive a rule mutation",
+					fn.Name.Name, cache, gen)
+			}
+		}
+	}
+}

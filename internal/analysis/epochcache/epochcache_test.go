@@ -1,0 +1,16 @@
+package epochcache_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/epochcache"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, epochcache.Analyzer, "testdata/src/a", "repro/fixture/a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, epochcache.Analyzer, "testdata/src/clean", "repro/fixture/clean")
+}

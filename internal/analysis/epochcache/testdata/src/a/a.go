@@ -1,0 +1,46 @@
+// Package a seeds epochcache violations: functions that read a
+// rules-derived cache without loading the generation that validates it.
+package a
+
+import "sync/atomic"
+
+type planCacheEntry struct {
+	plans int
+}
+
+type classEntry struct {
+	classes int
+}
+
+type ruleSet struct {
+	n int
+}
+
+type Ontology struct {
+	planCache  atomic.Pointer[planCacheEntry]
+	class      atomic.Pointer[classEntry]
+	rules      atomic.Pointer[ruleSet]
+	planEpoch  atomic.Uint64
+	rulesEpoch atomic.Uint64
+}
+
+// stalePlans never learns the cache generation: a rule mutation after the
+// load goes unnoticed.
+func (o *Ontology) stalePlans() *planCacheEntry {
+	return o.planCache.Load() // want "never loads"
+}
+
+// halfValidated checks the snapshot epoch but not the rules epoch; plans
+// compiled under dropped rules would survive.
+func (o *Ontology) halfValidated() *planCacheEntry {
+	if o.planEpoch.Load() == 0 {
+		return nil
+	}
+	return o.planCache.Load() // want "never loads rulesEpoch"
+}
+
+// staleClass reads the classification cache without the rule-set pointer it
+// must be compared against.
+func (o *Ontology) staleClass() *classEntry {
+	return o.class.Load() // want "never loads rules"
+}

@@ -1,0 +1,67 @@
+// Package clean exercises the reader patterns epochcache must accept:
+// generation-validated cache loads, cache writes (governed elsewhere), and
+// lookalike fields on non-Ontology types.
+package clean
+
+import "sync/atomic"
+
+type planCacheEntry struct {
+	planEpoch  uint64
+	rulesEpoch uint64
+	plans      int
+}
+
+type classEntry struct {
+	rules   *ruleSet
+	classes int
+}
+
+type ruleSet struct {
+	n int
+}
+
+type Ontology struct {
+	planCache  atomic.Pointer[planCacheEntry]
+	class      atomic.Pointer[classEntry]
+	rules      atomic.Pointer[ruleSet]
+	planEpoch  atomic.Uint64
+	rulesEpoch atomic.Uint64
+}
+
+// compiledPlans mirrors the engine's reader: load both generations, then
+// accept the cache only if it matches.
+func (o *Ontology) compiledPlans() *planCacheEntry {
+	pe := o.planEpoch.Load()
+	re := o.rulesEpoch.Load()
+	if c := o.planCache.Load(); c != nil && c.planEpoch == pe && c.rulesEpoch == re {
+		return c
+	}
+	fresh := &planCacheEntry{planEpoch: pe, rulesEpoch: re}
+	o.planCache.CompareAndSwap(nil, fresh)
+	return fresh
+}
+
+// classify validates the classification cache by rule-set identity.
+func (o *Ontology) classify() *classEntry {
+	rules := o.rules.Load()
+	if e := o.class.Load(); e != nil && e.rules == rules {
+		return e
+	}
+	return &classEntry{rules: rules}
+}
+
+// writerOnly stores without reading: publication discipline is
+// mutpipeline's concern, not epochcache's.
+func (o *Ontology) writerOnly(e *classEntry) {
+	o.class.Store(e)
+}
+
+// notOntology loads a field called planCache on some other type; the
+// analyzer must not care.
+type notOntology struct {
+	planCache atomic.Pointer[planCacheEntry]
+}
+
+func (n *notOntology) read() *planCacheEntry {
+	return n.planCache.Load()
+}

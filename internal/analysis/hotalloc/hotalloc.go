@@ -1,0 +1,206 @@
+// Package hotalloc defines an analyzer that turns the executor's
+// 0-allocs/op guarantee into a compile gate.
+//
+// The register-machine executor (PR 4) and its cancellation-aware revision
+// (PR 6) promise zero allocations per join step on the steady-state path;
+// today one benchmark assertion (TestSeededJoinStepAllocationFree) guards
+// that promise, and only for the one code path the benchmark drives. This
+// analyzer checks every function annotated with a `//repro:hotpath`
+// directive in its doc comment, flagging constructs that allocate or are
+// likely to:
+//
+//   - make, new, append (growth is amortized-O(1) but still allocates)
+//   - map and slice composite literals, and &T{...} literals
+//   - writes through a map index (bucket growth)
+//   - function literals (closure capture)
+//   - go statements (goroutine stacks are not free on a per-tuple path)
+//   - calls into package fmt (interface boxing plus scratch buffers)
+//   - string concatenation with +, string<->slice conversions
+//   - conversions and call arguments that box a concrete value into an
+//     interface
+//
+// The check is intentionally not transitive: annotate each function on the
+// hot path explicitly (the executor's Runner methods, the chase's
+// head-satisfaction probe). A deliberate cold-path allocation inside an
+// annotated function — a lazy one-time initialization, say — carries a
+// `//repro:allow hotalloc <reason>` directive.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+const directive = "//repro:hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocating constructs inside functions annotated //repro:hotpath",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !analysis.HasDirective(fn.Doc, directive) {
+				continue
+			}
+			checkBody(pass, fn.Body)
+		}
+	}
+	return nil, nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path allocates: function literal (closure capture)")
+			return false // its body runs in its own extent
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hot path spawns a goroutine")
+		case *ast.CompositeLit:
+			switch types.Unalias(info.TypeOf(n)).Underlying().(type) {
+			case *types.Map, *types.Slice:
+				pass.Reportf(n.Pos(), "hot path allocates: %s literal", kindName(info.TypeOf(n)))
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot path allocates: address of composite literal")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "hot path allocates: string concatenation")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if _, isMap := types.Unalias(info.TypeOf(ix.X)).Underlying().(*types.Map); isMap {
+						pass.Reportf(lhs.Pos(), "hot path writes through a map index")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				pass.Reportf(call.Pos(), "hot path allocates: %s", b.Name())
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x) boxing into an interface, or materializing a
+	// string from a byte/rune slice.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		target := tv.Type
+		if len(call.Args) == 1 {
+			src := info.TypeOf(call.Args[0])
+			if isInterface(target) && src != nil && !isInterface(src) && !isUntypedNil(info, call.Args[0]) {
+				pass.Reportf(call.Pos(), "hot path allocates: conversion boxes %s into %s", src, target)
+			}
+			if isString(target) && src != nil {
+				if _, ok := types.Unalias(src).Underlying().(*types.Slice); ok {
+					pass.Reportf(call.Pos(), "hot path allocates: slice-to-string conversion")
+				}
+			}
+			if isString(src) {
+				if _, ok := types.Unalias(target).Underlying().(*types.Slice); ok {
+					pass.Reportf(call.Pos(), "hot path allocates: string-to-slice conversion")
+				}
+			}
+		}
+		return
+	}
+
+	// Calls into fmt: boxing plus internal scratch state.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), "hot path calls fmt.%s", sel.Sel.Name)
+				return
+			}
+		}
+	}
+
+	// Interface boxing at the call boundary: a concrete argument passed
+	// for an interface parameter heap-allocates unless escape analysis
+	// gets lucky; on a hot path, don't gamble.
+	sig, ok := types.Unalias(info.TypeOf(call.Fun)).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through, no boxing here
+			}
+			param = types.Unalias(params.At(params.Len() - 1).Type()).Underlying().(*types.Slice).Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		src := info.TypeOf(arg)
+		if isInterface(param) && src != nil && !isInterface(src) && !isUntypedNil(info, arg) {
+			pass.Reportf(arg.Pos(), "hot path allocates: argument boxes %s into %s", src, param)
+		}
+	}
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := types.Unalias(t).(*types.TypeParam); ok {
+		return false // generic instantiation decides, not this call site
+	}
+	return types.IsInterface(t)
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+func kindName(t types.Type) string {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	}
+	return "composite"
+}

@@ -1,0 +1,16 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata/src/a", "repro/fixture/a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata/src/clean", "repro/fixture/clean")
+}

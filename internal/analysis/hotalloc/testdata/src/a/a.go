@@ -1,0 +1,36 @@
+// Package a seeds hotalloc violations: allocating constructs inside
+// functions annotated //repro:hotpath.
+package a
+
+import "fmt"
+
+type pair struct {
+	a, b int
+}
+
+func sink(x any) { _ = x }
+
+func observe(f func() int) { _ = f() }
+
+// hotAllocates trips every allocating construct the analyzer knows.
+//
+//repro:hotpath
+func hotAllocates(m map[string]int, xs []int, v int, s string) string {
+	buf := make([]int, 0, len(xs)) // want "make"
+	buf = append(buf, v)           // want "append"
+	_ = buf
+	m["key"] = v     // want "map index"
+	fmt.Println(v)   // want "fmt"
+	sink(v)          // want "boxes int into any"
+	p := &pair{a: v} // want "address of composite literal"
+	_ = p
+	scratch := []int{v} // want "slice literal"
+	_ = scratch
+	counts := map[int]int{} // want "map literal"
+	_ = counts
+	observe(func() int { return v }) // want "function literal"
+	go sink(nil)                     // want "goroutine"
+	bytes := []byte(s)               // want "string-to-slice conversion"
+	_ = string(bytes)                // want "slice-to-string conversion"
+	return s + "!"                   // want "string concatenation"
+}

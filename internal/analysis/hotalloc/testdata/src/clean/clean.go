@@ -1,0 +1,56 @@
+// Package clean exercises what hotalloc must accept: allocation-free
+// annotated functions, unannotated functions that allocate (the check is
+// deliberately not transitive), and explicitly waived cold-path
+// allocations.
+package clean
+
+type cursor struct {
+	tuples []int
+	pos    int
+	n      int
+}
+
+type runner struct {
+	regs  []int
+	curs  []cursor
+	cache []int
+}
+
+// step mirrors the executor's shape: slice reads, struct-field writes,
+// pointers into preallocated backing arrays — none of it allocates.
+//
+//repro:hotpath
+func (r *runner) step(depth, v int) bool {
+	cur := &r.curs[depth]
+	for cur.pos < cur.n {
+		i := cur.pos
+		cur.pos++
+		if cur.tuples[i] == v {
+			r.regs[depth] = v
+			return true
+		}
+	}
+	return false
+}
+
+// lazyInit waives a deliberate one-time allocation on an otherwise hot
+// function.
+//
+//repro:hotpath
+func (r *runner) lazyInit(n int) []int {
+	if r.cache == nil {
+		//repro:allow hotalloc one-time lazy initialization, amortized over the run
+		r.cache = make([]int, n)
+	}
+	return r.cache
+}
+
+// coldHelper is not annotated: allocations here are none of hotalloc's
+// business.
+func coldHelper(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+// Package mutpipeline defines an analyzer that keeps every snapshot
+// publication inside the unified mutation pipeline.
+//
+// PR 5 funneled all writer paths through Ontology.mutate
+// (stage→validate→apply→publish); PR 3 established that readers only ever
+// observe immutable snapshots published through atomic.Pointer stores. Those
+// guarantees hold exactly as long as no new code path stores to the
+// published pointers (`rules`, `mat`, `base`, `class`) or bumps the
+// generation counters (`epoch`, `rulesEpoch`, `planEpoch`) from outside the
+// small set of pipeline functions. A well-meaning helper that does
+// `o.mat.Store(...)` on its own silently forfeits rollback, epoch
+// discipline, and the single-writer protocol.
+//
+// The analyzer flags any write call (Store, Swap, CompareAndSwap, Add) on
+// one of those fields of a type named Ontology when the enclosing function
+// is not on the field's allowlist. Loads are always fine; the planCache
+// field is governed by the epochcache analyzer instead (its CAS publication
+// is safe anywhere by construction).
+package mutpipeline
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mutpipeline",
+	Doc:  "restrict snapshot-pointer stores and epoch bumps on Ontology to the unified mutation pipeline",
+	Run:  run,
+}
+
+// pipelineFuncs are the functions allowed to publish snapshots: the
+// pipeline itself, its rollback, construction, and the snapshot-refresh
+// helpers that run under the writer mutex.
+var pipelineFuncs = []string{
+	"mutate",
+	"abortMutation",
+	"newOntology",
+	"dropStaleSnapshots",
+	"updateBaseSnapshot",
+	"publishMat",
+	"snapshotBase",
+}
+
+// counterFuncs are the functions allowed to advance the epoch counters;
+// a counter bump outside a publication point would invalidate caches
+// without changing what readers see (or worse, fail to).
+var counterFuncs = []string{
+	"mutate",
+	"publishMat",
+	"updateBaseSnapshot",
+	"snapshotBase",
+}
+
+// allowedWriters maps each guarded Ontology field to the functions that may
+// write it.
+var allowedWriters = map[string][]string{
+	"rules": pipelineFuncs,
+	"mat":   pipelineFuncs,
+	"base":  pipelineFuncs,
+	// Classification is a lazy per-rule-set cache: Classify may publish a
+	// freshly computed entry; the pipeline clears it on rule mutation.
+	"class":      append(append([]string(nil), pipelineFuncs...), "Classify"),
+	"epoch":      counterFuncs,
+	"rulesEpoch": counterFuncs,
+	"planEpoch":  counterFuncs,
+}
+
+// writeMethods are the atomic methods that publish or mutate state.
+var writeMethods = map[string]bool{
+	"Store":          true,
+	"Swap":           true,
+	"Add":            true,
+	"CompareAndSwap": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		recv, method, ok := analysis.SelectorCall(expr)
+		if !ok || !writeMethods[method] {
+			return true
+		}
+		sel, ok := recv.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		allowed, guarded := allowedWriters[sel.Sel.Name]
+		if !guarded {
+			return true
+		}
+		base, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || !analysis.IsTypeNamed(base.Type, "Ontology") {
+			return true
+		}
+		for _, name := range allowed {
+			if fn.Name.Name == name {
+				return true
+			}
+		}
+		pass.Reportf(n.Pos(),
+			"%s.%s outside the mutation pipeline (in %s); publish through Ontology.mutate or one of %v",
+			sel.Sel.Name, method, fn.Name.Name, allowed)
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package mutpipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/mutpipeline"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, mutpipeline.Analyzer, "testdata/src/a", "repro/fixture/a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, mutpipeline.Analyzer, "testdata/src/clean", "repro/fixture/clean")
+}

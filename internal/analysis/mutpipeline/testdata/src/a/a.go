@@ -1,0 +1,64 @@
+// Package a seeds mutpipeline violations: snapshot publications and epoch
+// bumps on an Ontology from outside the unified mutation pipeline. The type
+// is a structural stand-in for the engine's Ontology — the analyzer keys on
+// the type and field names, not the import path.
+package a
+
+import "sync/atomic"
+
+type snapshot struct {
+	facts int
+}
+
+type Ontology struct {
+	rules      atomic.Pointer[snapshot]
+	mat        atomic.Pointer[snapshot]
+	base       atomic.Pointer[snapshot]
+	class      atomic.Pointer[snapshot]
+	epoch      atomic.Uint64
+	rulesEpoch atomic.Uint64
+	planEpoch  atomic.Uint64
+}
+
+// mutate is the pipeline: every publication below is allowed.
+func (o *Ontology) mutate(next *snapshot) {
+	o.rules.Store(next)
+	o.mat.Store(next)
+	o.rulesEpoch.Add(1)
+	o.planEpoch.Add(1)
+}
+
+func (o *Ontology) abortMutation() {
+	o.mat.Store(nil)
+}
+
+func (o *Ontology) publishMat(next *snapshot) {
+	o.mat.Store(next)
+	o.epoch.Add(1)
+	o.planEpoch.Add(1)
+}
+
+func (o *Ontology) Classify(next *snapshot) {
+	o.class.Store(next)
+}
+
+// refreshCache bypasses the pipeline: it publishes a snapshot and bumps a
+// generation from a helper that never staged or validated anything.
+func (o *Ontology) refreshCache(next *snapshot) {
+	o.mat.Store(next)    // want "mat.Store outside the mutation pipeline"
+	o.rulesEpoch.Add(1)  // want "rulesEpoch.Add outside the mutation pipeline"
+	o.base.Swap(next)    // want "base.Swap outside the mutation pipeline"
+	o.class.Store(next)  // want "class.Store outside the mutation pipeline"
+	o.planEpoch.Store(0) // want "planEpoch.Store outside the mutation pipeline"
+}
+
+// freeFunc shows the rule applies to plain functions too.
+func freeFunc(o *Ontology, next *snapshot) {
+	o.rules.CompareAndSwap(nil, next) // want "rules.CompareAndSwap outside the mutation pipeline"
+}
+
+// reader loads freely: reads are governed by epochcache, not mutpipeline.
+func (o *Ontology) reader() *snapshot {
+	o.rulesEpoch.Load()
+	return o.mat.Load()
+}

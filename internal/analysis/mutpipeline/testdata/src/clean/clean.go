@@ -1,0 +1,57 @@
+// Package clean exercises the writes mutpipeline must accept: publications
+// from pipeline functions, unguarded fields, non-Ontology types with
+// colliding field names, and plain loads.
+package clean
+
+import "sync/atomic"
+
+type snapshot struct {
+	facts int
+}
+
+type Ontology struct {
+	rules     atomic.Pointer[snapshot]
+	mat       atomic.Pointer[snapshot]
+	planCache atomic.Pointer[snapshot]
+	planEpoch atomic.Uint64
+	mutCount  atomic.Uint64
+}
+
+func newOntology(first *snapshot) *Ontology {
+	o := &Ontology{}
+	o.rules.Store(first)
+	return o
+}
+
+func (o *Ontology) mutate(next *snapshot) {
+	o.rules.Store(next)
+	o.mat.Store(next)
+	o.planEpoch.Add(1)
+	// Unguarded counters may move anywhere.
+	o.mutCount.Add(1)
+}
+
+func (o *Ontology) dropStaleSnapshots() {
+	o.mat.Store(nil)
+}
+
+// compiledPlans publishes into the plan cache from a reader path: planCache
+// is epoch-validated (epochcache's concern), not pipeline-restricted.
+func (o *Ontology) compiledPlans(next *snapshot) *snapshot {
+	o.planEpoch.Load()
+	if c := o.planCache.Load(); c != nil {
+		return c
+	}
+	o.planCache.CompareAndSwap(nil, next)
+	return next
+}
+
+// notOntology has the same field names on a different type; the analyzer
+// must not care.
+type notOntology struct {
+	mat atomic.Pointer[snapshot]
+}
+
+func (n *notOntology) anywhere(next *snapshot) {
+	n.mat.Store(next)
+}

@@ -1,0 +1,16 @@
+package snapshotmut_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapshotmut"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, snapshotmut.Analyzer, "testdata/src/a", "repro/fixture/a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, snapshotmut.Analyzer, "testdata/src/clean", "repro/fixture/clean")
+}

@@ -1,0 +1,27 @@
+package suite_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/suite"
+)
+
+// TestRepoIsClean runs the full reprovet suite over every package in the
+// module, exactly as `make lint` does (module root, standalone loader).
+// A finding here means an invariant regressed: fix the code, or — for a
+// deliberate exception — annotate it with //repro:allow and a reason.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module via go list -export")
+	}
+	var out bytes.Buffer
+	n, err := driver.RunPatterns(&out, []string{"repro/..."}, suite.Analyzers())
+	if err != nil {
+		t.Fatalf("reprovet over repro/...: %v", err)
+	}
+	if n > 0 {
+		t.Errorf("reprovet found %d invariant violation(s):\n%s", n, out.String())
+	}
+}

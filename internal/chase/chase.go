@@ -226,6 +226,8 @@ func (ps *planSet) refresh(rules *dependency.Set, ins *storage.Instance) int {
 // frontier, any match of the head atoms (existential variables free) means
 // the head already holds. runners caches one Runner per rule for the calling
 // worker, so repeated checks allocate nothing.
+//
+//repro:hotpath
 func (ps *planSet) headSatisfied(ri int, frontier logic.Subst, ins *storage.Instance, runners []*eval.Runner) bool {
 	r := runners[ri]
 	if r == nil {
@@ -237,6 +239,7 @@ func (ps *planSet) headSatisfied(ri int, frontier logic.Subst, ins *storage.Inst
 	}
 	r.SeedSubst(frontier)
 	found := false
+	//repro:allow hotalloc non-escaping yield closure; steady state stays 0 allocs/op (TestSeededJoinStepAllocationFree)
 	r.Run(0, 1, func([]logic.Term) bool {
 		found = true
 		return false
@@ -376,6 +379,7 @@ func runTasks(n, workers int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			//repro:allow ctxpoll bounded by the shared task counter; fn polls per firing
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {

@@ -245,6 +245,7 @@ func parallelEval(ctx context.Context, plans []*Plan, arity int, ins *storage.In
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			//repro:allow ctxpoll bounded by the closed work channel; runPlanShard polls ctx per shard
 			for i := range next {
 				out := NewAnswers(arity)
 				_, err := runPlanShard(ctx, units[i].plan, ins, opts, units[i].shard, p, out)

@@ -78,6 +78,8 @@ func (r *Runner) SetContext(ctx context.Context) {
 func (r *Runner) Err() error { return r.err }
 
 // canceled polls the armed context once every cancelCheckMask+1 calls.
+//
+//repro:hotpath
 func (r *Runner) canceled() bool {
 	if r.ctx == nil {
 		return false
@@ -98,6 +100,8 @@ func (r *Runner) canceled() bool {
 // survive copy-on-write relation swaps and relations created after
 // compilation; within one enumeration the instance must be frozen, as for
 // all concurrent reads.
+//
+//repro:hotpath
 func (r *Runner) Bind(ins *storage.Instance) bool {
 	for i := range r.plan.atoms {
 		rel := ins.Relation(r.plan.atoms[i].pred)
@@ -112,6 +116,8 @@ func (r *Runner) Bind(ins *storage.Instance) bool {
 // SeedSubst fills the seed registers of a Subst-seeded plan (CompileBody):
 // register i takes the walked image of seedVars[i]. Every seed variable must
 // resolve to a rigid term.
+//
+//repro:hotpath
 func (r *Runner) SeedSubst(seed logic.Subst) {
 	for i, v := range r.plan.seedVars {
 		r.regs[i] = seed.Walk(v)
@@ -123,6 +129,8 @@ func (r *Runner) SeedSubst(seed logic.Subst) {
 // exactly unification, including repeated variables and constants — and on
 // success the remaining atoms are enumerated. Returns false iff yield
 // aborted the enumeration. Requires a successful Bind.
+//
+//repro:hotpath
 func (r *Runner) RunTuple(tuple storage.Tuple, yield func(regs []logic.Term) bool) bool {
 	for _, o := range r.plan.seedOps {
 		t := tuple[o.col]
@@ -150,6 +158,8 @@ func (r *Runner) RunTuple(tuple storage.Tuple, yield func(regs []logic.Term) boo
 // calls — callers must copy what they keep. A runner armed with SetContext
 // additionally aborts (returning false, with Err set) when its context is
 // canceled; the poll is amortized so the hot loop stays allocation-free.
+//
+//repro:hotpath
 func (r *Runner) Run(shard, nshards int, yield func(regs []logic.Term) bool) bool {
 	atoms := r.plan.atoms
 	if len(atoms) == 0 {
@@ -199,6 +209,8 @@ func (r *Runner) Run(shard, nshards int, yield func(regs []logic.Term) bool) boo
 // initCursor positions the cursor of one level on its candidate set, probing
 // the planned index column with the key register (or constant) when the
 // access path is an index, scanning otherwise.
+//
+//repro:hotpath
 func (r *Runner) initCursor(depth, start, stride int) {
 	step := &r.plan.atoms[depth]
 	rel := r.rels[depth]
@@ -222,6 +234,8 @@ func (r *Runner) initCursor(depth, start, stride int) {
 // check runs one atom's micro-program against a candidate tuple, binding
 // registers as a side effect. A false return leaves some registers written;
 // that is safe because they are re-written before any op can read them.
+//
+//repro:hotpath
 func (r *Runner) check(depth int, tuple storage.Tuple) bool {
 	for _, o := range r.plan.atoms[depth].ops {
 		t := tuple[o.col]

@@ -357,6 +357,7 @@ func orderCost(body []logic.Atom, ins *storage.Instance, bound map[logic.Term]bo
 		}
 		return est
 	}
+	//repro:allow ctxpoll planning loop, consumes one atom per iteration
 	for len(remaining) > 0 {
 		best, bestEst := 0, math.Inf(1)
 		for i, a := range remaining {
@@ -401,6 +402,7 @@ func orderGreedy(body []logic.Atom, ins *storage.Instance, bound map[logic.Term]
 	}
 	placed := make([]logic.Atom, 0, len(scored))
 	remaining := scored
+	//repro:allow ctxpoll planning loop, consumes one atom per iteration
 	for len(remaining) > 0 {
 		best := 0
 		if len(nowBound) > 0 {

@@ -84,25 +84,51 @@ func (b *batcher) AddFacts(ctx context.Context, src string) (writeResult, error)
 			return writeResult{}, ctx.Err()
 		}
 	}
+	// Become the flusher for exactly one batch — the one containing our own
+	// request. The previous design looped here until pending drained, which
+	// made the first writer captive: under sustained load it kept flushing
+	// later arrivals' batches (unboundedly, with no cancellation poll) long
+	// after its own facts had committed. Any backlog that parked while we
+	// were inside the pipeline is handed to a detached drainer instead.
 	b.flushing = true
+	batch := b.pending
+	b.pending = nil
 	b.mu.Unlock()
 
-	for {
+	b.flush(batch)
+
+	b.mu.Lock()
+	if len(b.pending) == 0 {
+		b.flushing = false
+	} else {
+		go b.drain()
+	}
+	b.mu.Unlock()
+
+	// Our own request was part of the batch just flushed.
+	res := <-req.done
+	return res, res.err
+}
+
+// drain flushes parked batches until the pending queue stays empty, then
+// retires the flusher role. It runs detached from any request goroutine:
+// each parked member carries its own deadline (flush fails already-expired
+// members immediately and the rest run under a detached context), so the
+// drainer itself has no context to poll — it terminates exactly when
+// arrivals stop, and every iteration delivers results to real waiters.
+func (b *batcher) drain() {
+	for { //repro:allow ctxpoll detached drainer; members carry their own deadlines and each iteration empties the queue
 		b.mu.Lock()
 		batch := b.pending
 		b.pending = nil
 		if len(batch) == 0 {
 			b.flushing = false
 			b.mu.Unlock()
-			break
+			return
 		}
 		b.mu.Unlock()
 		b.flush(batch)
 	}
-
-	// Our own request was part of some batch this loop flushed.
-	res := <-req.done
-	return res, res.err
 }
 
 // flush runs one coalesced batch through the mutation pipeline and delivers

@@ -172,6 +172,8 @@ func (r *Relation) Contains(t Tuple) bool {
 }
 
 // Tuples returns the backing slice of tuples; callers must not mutate it.
+//
+//repro:hotpath
 func (r *Relation) Tuples() []Tuple { return r.tuples }
 
 // buildIndex materializes the per-column indexes. Indexes carried over by
@@ -202,6 +204,8 @@ func (r *Relation) EnsureIndex() {
 // Lookup returns the offsets of tuples with the given term at column col
 // (0-based). Builds the index on first use; see the Relation concurrency
 // contract.
+//
+//repro:hotpath
 func (r *Relation) Lookup(col int, term logic.Term) []int {
 	r.EnsureIndex()
 	return r.index[col][term]
