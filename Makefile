@@ -48,10 +48,12 @@ BENCH_OUT ?= bench.out.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
-# Planner ablation: run the planner-sensitive benchmarks once per join-order
-# strategy (PLANNER env, read by TestMain) and compare through benchstat when
-# it is installed, falling back to the raw outputs. BenchmarkAnswer* compare
-# the strategies within a single run and are deliberately excluded here.
+# Strategy ablations: run the strategy-sensitive benchmarks once per
+# join-order strategy (PLANNER env, read by TestMain) and once per join
+# execution strategy (JOIN env, same mechanism), comparing each axis through
+# benchstat when it is installed, falling back to the raw outputs.
+# BenchmarkAnswer* compare the planners within a single run and are
+# deliberately excluded here.
 BENCH_COMPARE_PATTERN ?= BenchmarkCQEvaluation|BenchmarkEvaluationOnly|BenchmarkChaseScaling|BenchmarkParallelUCQEvaluation|BenchmarkIncrementalAddFact
 BENCH_COMPARE_COUNT ?= 5
 BENCH_COMPARE_TIME ?= 0.2s
@@ -61,11 +63,18 @@ bench-compare:
 		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.greedy.txt
 	PLANNER=cost $(GO) test -run '^$$' -bench '$(BENCH_COMPARE_PATTERN)' \
 		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.cost.txt
+	JOIN=nested $(GO) test -run '^$$' -bench '$(BENCH_COMPARE_PATTERN)' \
+		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.join-nested.txt
+	JOIN=hash $(GO) test -run '^$$' -bench '$(BENCH_COMPARE_PATTERN)' \
+		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.join-hash.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
+		echo "== planner: greedy vs cost =="; \
 		benchstat bench.greedy.txt bench.cost.txt; \
+		echo "== join: nested vs hash =="; \
+		benchstat bench.join-nested.txt bench.join-hash.txt; \
 	else \
 		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest);"; \
-		echo "raw outputs in bench.greedy.txt / bench.cost.txt"; \
+		echo "raw outputs in bench.{greedy,cost,join-nested,join-hash}.txt"; \
 	fi
 
 # CPU + heap profile of the steady-state answering path (warm snapshot and

@@ -39,6 +39,7 @@ func main() {
 	dropRule := flag.String("drop-rule", "", "label of a rule (e.g. R2) to RemoveRule after the first answer, then re-answer")
 	incremental := flag.Bool("incremental", true, "with -add/-delete/-add-rule/-drop-rule: maintain the published materialization incrementally (false = rebuild the ontology from scratch)")
 	shared := cliflags.Bind(flag.CommandLine)
+	shared.BindLimit(flag.CommandLine)
 	flag.Parse()
 	if *rulesPath == "" || *querySrc == "" {
 		fmt.Fprintln(os.Stderr, "usage: answer -rules FILE [-data FILE] -query 'q(X) :- ... .' [-mode M] [-timeout D] [-add 'f(a) .']")

@@ -39,6 +39,7 @@ func main() {
 	evalFlag := flag.Bool("eval", false, "evaluate the rewriting over the -data instance and print the certain answers")
 	maxCQs := flag.Int("max-cqs", 0, "budget on generated CQs (0 = default)")
 	shared := cliflags.Bind(flag.CommandLine)
+	shared.BindLimit(flag.CommandLine)
 	flag.Parse()
 	if *rulesPath == "" || *querySrc == "" {
 		fmt.Fprintln(os.Stderr, "usage: rewrite -rules FILE -query 'q(X) :- ... .' [-sql] [-eval -data FILE] [-timeout D]")
@@ -100,7 +101,7 @@ func main() {
 		if err != nil {
 			cliflags.Fatal(err)
 		}
-		plans := eval.CompileUCQ(res.UCQ, data, eopts.Planner)
+		plans := eval.CompileUCQ(res.UCQ, data, eopts.Planner, eopts.Join)
 		ans, err := eval.RunPlansCtx(ctx, plans, res.UCQ.Arity(), data, eopts)
 		if err != nil {
 			cliflags.Fatal(err)

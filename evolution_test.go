@@ -483,3 +483,57 @@ func TestConcurrentEvolutionAndAnswer(t *testing.T) {
 		t.Errorf("rules = %d, want %d (every added rule was removed)", ont.Rules().Len(), scratch.Rules().Len())
 	}
 }
+
+// TestFullRebuildsSurfacedInStats is the observability regression for the
+// silent-rebuild path: RemoveRule against a cache built without provenance
+// cannot repair incrementally, so it drops the materialization and the next
+// chase answer rebuilds from scratch. That used to be invisible — the stats
+// looked identical to a healthy repair once the rebuild finished. The
+// FullRebuilds counter must tick exactly on the drop, and must NOT tick when
+// the second removal (provenance now recorded) repairs incrementally.
+func TestFullRebuildsSurfacedInStats(t *testing.T) {
+	ont := MustParse(datagen.University().String() + "\n" + datagen.UniversityData(4, 1).String())
+	if err := ont.AddRule(`department(X) -> organization(X) .`); err != nil {
+		t.Fatal(err)
+	}
+	label := ont.Rules().Rules[ont.Rules().Len()-1].Label
+	if _, err := ont.AnswerMode(`q(X) :- person(X) .`, ModeChase); err != nil {
+		t.Fatal(err)
+	}
+	if s := ont.MaterializationStats(); !s.Cached || s.FullRebuilds != 0 {
+		t.Fatalf("fresh build stats = %+v, want cached with FullRebuilds 0", s)
+	}
+
+	// Provenance was off during the build: the removal silently drops the
+	// cache instead of repairing it, and the counter must say so.
+	if err := ont.RemoveRule(label); err != nil {
+		t.Fatal(err)
+	}
+	s1 := ont.MaterializationStats()
+	if s1.Cached {
+		t.Fatalf("provenance-less RemoveRule kept the cache: %+v", s1)
+	}
+	if s1.FullRebuilds != 1 {
+		t.Fatalf("FullRebuilds after provenance-less RemoveRule = %d, want 1", s1.FullRebuilds)
+	}
+
+	// Rebuild (now recording provenance), then a second add/remove cycle
+	// repairs incrementally — no further drop, counter unchanged.
+	if _, err := ont.AnswerMode(`q(X) :- person(X) .`, ModeChase); err != nil {
+		t.Fatal(err)
+	}
+	if err := ont.AddRule(`department(X) -> organization(X) .`); err != nil {
+		t.Fatal(err)
+	}
+	label = ont.Rules().Rules[ont.Rules().Len()-1].Label
+	if err := ont.RemoveRule(label); err != nil {
+		t.Fatal(err)
+	}
+	s2 := ont.MaterializationStats()
+	if !s2.Cached {
+		t.Fatalf("incremental RemoveRule dropped the cache: %+v", s2)
+	}
+	if s2.FullRebuilds != 1 {
+		t.Fatalf("FullRebuilds after incremental RemoveRule = %d, want still 1", s2.FullRebuilds)
+	}
+}

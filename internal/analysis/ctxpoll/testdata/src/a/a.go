@@ -55,3 +55,19 @@ func pollInClosureDoesNotCount(c canceler, work chan int) {
 		}
 	}
 }
+
+type iterator interface {
+	Next() bool
+}
+
+// drainIterator drives a pull iterator to exhaustion without polling
+// cancellation — the streaming-executor mistake the rule exists for: the
+// result set can be enormous and every Next may be a full backtracking
+// search.
+func drainIterator(it iterator) int {
+	n := 0
+	for it.Next() { // want "unbounded loop without a cancellation poll"
+		n++
+	}
+	return n
+}

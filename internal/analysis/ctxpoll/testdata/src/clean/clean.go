@@ -92,3 +92,20 @@ func waived(ch chan struct{}) int {
 	}
 	return n
 }
+
+type iterator interface {
+	Next() bool
+}
+
+// drainStreaming is the accepted way to drive a pull iterator whose Next
+// amortizes an armed-context poll internally (the executor's Runner.Next
+// checks cancellation once per candidate batch): the loop carries a waiver
+// naming that contract.
+func drainStreaming(it iterator) int {
+	n := 0
+	//repro:allow ctxpoll Next polls the armed context per candidate batch
+	for it.Next() {
+		n++
+	}
+	return n
+}

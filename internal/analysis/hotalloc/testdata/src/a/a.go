@@ -34,3 +34,31 @@ func hotAllocates(m map[string]int, xs []int, v int, s string) string {
 	_ = string(bytes)                // want "slice-to-string conversion"
 	return s + "!"                   // want "string concatenation"
 }
+
+type iter struct {
+	keys    []string
+	table   map[string][]int
+	posting []int
+	pos     int
+}
+
+// Next mirrors the streaming-operator mistake the analyzer exists to catch:
+// a pull iterator rebuilding its hash table per call instead of reusing
+// runner-pooled state.
+//
+//repro:hotpath
+func (it *iter) Next() bool {
+	table := map[string][]int{} // want "map literal"
+	for i, k := range it.keys {
+		posting := append(table[k], i) // want "append"
+		table[k] = posting             // want "map index"
+	}
+	it.table = table
+	key := []byte(it.keys[0])          // want "string-to-slice conversion"
+	it.posting = it.table[string(key)] // want "slice-to-string conversion"
+	if it.pos < len(it.posting) {
+		it.pos++
+		return true
+	}
+	return false
+}

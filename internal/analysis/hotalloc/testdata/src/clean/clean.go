@@ -54,3 +54,45 @@ func coldHelper(n int) []int {
 	}
 	return out
 }
+
+// hashIter is the steady-state streaming operator shape: the composite-key
+// table and probe buffer live on the iterator and are reused across Next
+// calls.
+type hashIter struct {
+	table   map[string][]int
+	keyBuf  []byte
+	posting []int
+	pos     int
+	regs    []int
+}
+
+// probeKey follows the unannotated-helper precedent (regsKey, bindingKey):
+// hot but allocation-free in steady state — it appends into a buffer whose
+// capacity survives across calls — so the allocation test, not the
+// analyzer, vouches for it.
+func (it *hashIter) probeKey(k byte) []byte {
+	it.keyBuf = it.keyBuf[:0]
+	it.keyBuf = append(it.keyBuf, k, 0)
+	return it.keyBuf
+}
+
+// next probes the cached table; the map read through string(key) is the one
+// construct that needs a waiver (the conversion is allocation-elided by the
+// compiler when used directly as a map index).
+//
+//repro:hotpath
+func (it *hashIter) next(probe byte) bool {
+	if it.posting == nil {
+		//repro:allow hotalloc map read through string(key) is allocation-elided by the compiler
+		it.posting = it.table[string(it.probeKey(probe))]
+	}
+	for it.pos < len(it.posting) {
+		i := it.posting[it.pos]
+		it.pos++
+		if i >= 0 {
+			it.regs[0] = i
+			return true
+		}
+	}
+	return false
+}

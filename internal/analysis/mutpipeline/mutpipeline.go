@@ -31,8 +31,9 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // pipelineFuncs are the functions allowed to publish snapshots: the
-// pipeline itself, its rollback, construction, and the snapshot-refresh
-// helpers that run under the writer mutex.
+// pipeline itself, its rollback, construction, the snapshot-refresh
+// helpers that run under the writer mutex, and the counted
+// materialization-drop helper they all route through.
 var pipelineFuncs = []string{
 	"mutate",
 	"abortMutation",
@@ -41,6 +42,7 @@ var pipelineFuncs = []string{
 	"updateBaseSnapshot",
 	"publishMat",
 	"snapshotBase",
+	"dropMat",
 }
 
 // counterFuncs are the functions allowed to advance the epoch counters;

@@ -89,6 +89,10 @@ type Options struct {
 	// plans (eval.PlannerDefault resolves to eval.DefaultPlanner). Any value
 	// yields the same chase up to null names.
 	Planner eval.Planner
+	// Join selects the join strategy (nested index probe vs. composite hash
+	// table) for the compiled rule-body plans (eval.JoinDefault resolves to
+	// eval.DefaultJoin). Any value yields the same chase up to null names.
+	Join eval.JoinStrategy
 }
 
 func (o Options) withDefaults() Options {
@@ -154,10 +158,11 @@ type planSet struct {
 	// refresh. Emptied lazily as transitions are consumed.
 	emptyReads [][]string
 	planner    eval.Planner
+	join       eval.JoinStrategy
 }
 
 // newPlanSet compiles the rule set against the instance.
-func newPlanSet(rules *dependency.Set, ins *storage.Instance, planner eval.Planner) *planSet {
+func newPlanSet(rules *dependency.Set, ins *storage.Instance, planner eval.Planner, join eval.JoinStrategy) *planSet {
 	n := len(rules.Rules)
 	ps := &planSet{
 		delta:      make([][]*eval.Plan, n),
@@ -165,6 +170,7 @@ func newPlanSet(rules *dependency.Set, ins *storage.Instance, planner eval.Plann
 		head:       make([]*eval.Plan, n),
 		emptyReads: make([][]string, n),
 		planner:    planner,
+		join:       join,
 	}
 	for ri, rule := range rules.Rules {
 		ps.compileRule(ri, rule, ins)
@@ -179,11 +185,11 @@ func (ps *planSet) compileRule(ri int, rule *dependency.TGD, ins *storage.Instan
 	ps.delta[ri] = make([]*eval.Plan, len(rule.Body))
 	ps.slots[ri] = make([][]int, len(rule.Body))
 	for bi := range rule.Body {
-		p := eval.CompileDelta(rule.Body, bi, ins, ps.planner)
+		p := eval.CompileDelta(rule.Body, bi, ins, ps.planner, ps.join)
 		ps.delta[ri][bi] = p
 		ps.slots[ri][bi] = p.Slots(bodyVars)
 	}
-	ps.head[ri] = eval.CompileBody(rule.Head, ins, rule.Distinguished(), ps.planner)
+	ps.head[ri] = eval.CompileBody(rule.Head, ins, rule.Distinguished(), ps.planner, ps.join)
 
 	var empty []string
 	seen := make(map[string]bool)
@@ -485,7 +491,7 @@ func buildKey(prefix []byte, frontier logic.Subst, vars []logic.Term) string {
 // Evaluation inherits the chase's Parallelism.
 func CertainAnswers(u *query.UCQ, rules *dependency.Set, data *storage.Instance, opts Options) (*eval.Answers, *Result) {
 	res := Run(rules, data, opts)
-	ans := eval.UCQ(u, res.Instance, eval.Options{FilterNulls: true, Parallelism: opts.Parallelism, Planner: opts.Planner})
+	ans := eval.UCQ(u, res.Instance, eval.Options{FilterNulls: true, Parallelism: opts.Parallelism, Planner: opts.Planner, Join: opts.Join})
 	return ans, res
 }
 

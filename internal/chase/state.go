@@ -348,7 +348,7 @@ func (st *State) resume(ctx context.Context, rules *dependency.Set, ins, delta *
 	// (planSet.refresh): an order chosen when the relation was empty is
 	// arbitrary, not merely stale.
 	ins.EnsureIndexes()
-	plans := newPlanSet(rules, ins, opts.Planner)
+	plans := newPlanSet(rules, ins, opts.Planner, opts.Join)
 
 	for res.Rounds < opts.MaxRounds {
 		// Round barrier: a canceled increment aborts between rounds (and at

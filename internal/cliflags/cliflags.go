@@ -1,8 +1,21 @@
 // Package cliflags is the one flag surface shared by every command in
-// cmd/: the engine knobs (-parallel, -planner, -max-steps, -max-rounds) and
-// the deadline (-timeout) are declared once here, so answer, chase, rewrite,
+// cmd/: the engine knobs (-parallel, -planner, -join, -max-steps,
+// -max-rounds), the answer bound (-limit, opt-in via BindLimit) and the
+// deadline (-timeout) are declared once here, so answer, chase, rewrite,
 // classify, graphs and serve agree on names, defaults and help text instead
 // of each redeclaring a drifting subset.
+//
+// The two strategy knobs compare execution plans, never answers:
+//
+//   - -planner=greedy|cost picks the join order (cost is the default,
+//     statistics-driven);
+//   - -join=auto|nested|hash picks how atoms with several bound columns are
+//     matched — nested reuses the single best per-column index, hash builds
+//     a composite-key table over all of them, auto (the default) lets the
+//     cost model decide per atom using the correlated-pair statistics.
+//
+// -limit=N streams only the first N distinct answers and stops the executor
+// early — the cost is proportional to N, not to the full result.
 package cliflags
 
 import (
@@ -24,23 +37,37 @@ type Flags struct {
 	Parallel int
 	// Planner names the join-order strategy: "greedy" or "cost".
 	Planner string
+	// Join names the join strategy: "auto", "nested" or "hash".
+	Join string
 	// MaxSteps bounds chase trigger firings (0 = engine default).
 	MaxSteps int
 	// MaxRounds bounds chase fair rounds (0 = engine default).
 	MaxRounds int
+	// Limit bounds the number of answers streamed (0 = all); registered
+	// separately by BindLimit, only on the commands that answer queries.
+	Limit int
 	// Timeout bounds the whole operation; 0 means no deadline.
 	Timeout time.Duration
 }
 
 // Bind registers the full shared surface on fs (flag.CommandLine in the
-// commands): -parallel, -planner, -max-steps, -max-rounds and -timeout.
+// commands): -parallel, -planner, -join, -max-steps, -max-rounds and
+// -timeout.
 func Bind(fs *flag.FlagSet) *Flags {
 	f := BindTimeout(fs)
 	fs.IntVar(&f.Parallel, "parallel", 1, "worker count for chase and evaluation (1 = sequential)")
 	fs.StringVar(&f.Planner, "planner", "cost", "join-order strategy: greedy | cost")
+	fs.StringVar(&f.Join, "join", "auto", "join strategy: auto | nested | hash")
 	fs.IntVar(&f.MaxSteps, "max-steps", 0, "chase trigger-firing budget (0 = default 100000)")
 	fs.IntVar(&f.MaxRounds, "max-rounds", 0, "chase fair-round budget (0 = default 1000)")
 	return f
+}
+
+// BindLimit additionally registers -limit, for the commands that answer
+// queries: only the first N distinct answers are produced, and the executor
+// stops as soon as the bound is reached.
+func (f *Flags) BindLimit(fs *flag.FlagSet) {
+	fs.IntVar(&f.Limit, "limit", 0, "stop after this many distinct answers (0 = all)")
 }
 
 // BindTimeout registers only -timeout, for commands with no engine knobs.
@@ -55,9 +82,18 @@ func (f *Flags) PlannerStrategy() (eval.Planner, error) {
 	return eval.ParsePlanner(f.Planner)
 }
 
+// JoinStrategy resolves the -join value.
+func (f *Flags) JoinStrategy() (eval.JoinStrategy, error) {
+	return eval.ParseJoin(f.Join)
+}
+
 // Options maps the shared flags onto the root answering options.
 func (f *Flags) Options(mode repro.AnswerMode) (repro.Options, error) {
 	pl, err := f.PlannerStrategy()
+	if err != nil {
+		return repro.Options{}, err
+	}
+	jn, err := f.JoinStrategy()
 	if err != nil {
 		return repro.Options{}, err
 	}
@@ -67,6 +103,8 @@ func (f *Flags) Options(mode repro.AnswerMode) (repro.Options, error) {
 		MaxSteps:    f.MaxSteps,
 		MaxRounds:   f.MaxRounds,
 		Planner:     pl,
+		Join:        jn,
+		Limit:       f.Limit,
 	}, nil
 }
 
@@ -76,11 +114,16 @@ func (f *Flags) ChaseOptions() (chase.Options, error) {
 	if err != nil {
 		return chase.Options{}, err
 	}
+	jn, err := f.JoinStrategy()
+	if err != nil {
+		return chase.Options{}, err
+	}
 	return chase.Options{
 		MaxSteps:    f.MaxSteps,
 		MaxRounds:   f.MaxRounds,
 		Parallelism: f.Parallel,
 		Planner:     pl,
+		Join:        jn,
 	}, nil
 }
 
@@ -90,7 +133,11 @@ func (f *Flags) EvalOptions() (eval.Options, error) {
 	if err != nil {
 		return eval.Options{}, err
 	}
-	return eval.Options{FilterNulls: true, Parallelism: f.Parallel, Planner: pl}, nil
+	jn, err := f.JoinStrategy()
+	if err != nil {
+		return eval.Options{}, err
+	}
+	return eval.Options{FilterNulls: true, Parallelism: f.Parallel, Planner: pl, Join: jn, Limit: f.Limit}, nil
 }
 
 // Context arms the -timeout deadline: with a zero timeout it returns the

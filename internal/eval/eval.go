@@ -42,6 +42,10 @@ type Options struct {
 	// fly (PlannerDefault resolves to DefaultPlanner). Precompiled plans
 	// carry their own strategy.
 	Planner Planner
+	// Join selects the join strategy for plans compiled on the fly
+	// (JoinDefault resolves to DefaultJoin). Precompiled plans carry their
+	// own strategy.
+	Join JoinStrategy
 }
 
 // workers returns the effective worker count.
@@ -80,7 +84,13 @@ func (a *Answers) Add(t storage.Tuple) bool {
 // AddOwned inserts the tuple without copying, taking ownership. The caller
 // must not mutate or reuse the tuple afterwards.
 func (a *Answers) AddOwned(t storage.Tuple) bool {
-	k := t.Key()
+	return a.addKeyed(t, t.Key())
+}
+
+// addKeyed inserts an owned tuple under its precomputed dedup key — the
+// streaming collector's path, which has already keyed the tuple for the
+// cross-member union dedup and need not pay a second encoding.
+func (a *Answers) addKeyed(t storage.Tuple, k string) bool {
 	if a.keys[k] {
 		return false
 	}
@@ -169,7 +179,7 @@ func (a *Answers) String() string {
 // call. With Options.Parallelism > 1 the outer loop of the join is sharded
 // across workers; the answer set is identical to the sequential result.
 func CQ(q *query.CQ, ins *storage.Instance, opts Options) *Answers {
-	return RunPlans([]*Plan{CompileCQ(q, ins, opts.Planner)}, q.Arity(), ins, opts)
+	return RunPlans([]*Plan{CompileCQ(q, ins, opts.Planner, opts.Join)}, q.Arity(), ins, opts)
 }
 
 // UCQ evaluates a union of conjunctive queries, unioning the answers. With
@@ -177,14 +187,14 @@ func CQ(q *query.CQ, ins *storage.Instance, opts Options) *Answers {
 // join's outer loop is sharded; the answer set is identical to the
 // sequential result.
 func UCQ(u *query.UCQ, ins *storage.Instance, opts Options) *Answers {
-	return RunPlans(CompileUCQ(u, ins, opts.Planner), u.Arity(), ins, opts)
+	return RunPlans(CompileUCQ(u, ins, opts.Planner, opts.Join), u.Arity(), ins, opts)
 }
 
 // UCQCtx is UCQ under a cancellation context: evaluation aborts promptly
 // (amortized per-candidate polling in the executor) when ctx is canceled and
 // returns the context error; the partial answer set is discarded.
 func UCQCtx(ctx context.Context, u *query.UCQ, ins *storage.Instance, opts Options) (*Answers, error) {
-	return RunPlansCtx(ctx, CompileUCQ(u, ins, opts.Planner), u.Arity(), ins, opts)
+	return RunPlansCtx(ctx, CompileUCQ(u, ins, opts.Planner, opts.Join), u.Arity(), ins, opts)
 }
 
 // RunPlans evaluates precompiled CQ plans (the disjuncts of a union) over
@@ -206,16 +216,96 @@ func RunPlansCtx(ctx context.Context, plans []*Plan, arity int, ins *storage.Ins
 		return parallelEval(ctx, plans, arity, ins, opts, p)
 	}
 	out := NewAnswers(arity)
-	for _, plan := range plans {
-		cont, err := runPlanShard(ctx, plan, ins, opts, 0, 1, out)
-		if err != nil {
-			return nil, err
-		}
-		if !cont {
-			break // limit reached
-		}
+	err := each(ctx, plans, ins, opts, func(t storage.Tuple, k string) bool {
+		out.addKeyed(t, k)
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// Each streams the union's answers to yield in the deterministic sequential
+// order, stopping early when yield returns false: the first answers reach
+// the consumer while the iterator tree is still enumerating, and an
+// Options.Limit stops the tree as soon as it is satisfied instead of
+// filtering a materialized set post-hoc. The tuple passed to yield is
+// freshly allocated — the consumer owns it. Cross-member union dedup means
+// memory grows with the distinct answers emitted so far (at most Limit when
+// set), never with the full result size. Returns the context error if the
+// enumeration was canceled mid-stream.
+func Each(ctx context.Context, plans []*Plan, ins *storage.Instance, opts Options, yield func(storage.Tuple) bool) error {
+	return each(ctx, plans, ins, opts, func(t storage.Tuple, _ string) bool {
+		return yield(t)
+	})
+}
+
+// each is the sequential streaming core behind Each and RunPlansCtx: it
+// drives each plan's Start/Next iterator in order, drops null-carrying
+// answers under FilterNulls, deduplicates across union members, enforces
+// Limit by abandoning the iterators early, and hands every fresh answer —
+// with its dedup key, so collectors don't re-encode it — to emit.
+func each(ctx context.Context, plans []*Plan, ins *storage.Instance, opts Options, emit func(t storage.Tuple, key string) bool) error {
+	seen := make(map[string]bool)
+	count := 0
+	for _, plan := range plans {
+		r := plan.NewRunner()
+		if !r.Bind(ins) {
+			continue
+		}
+		r.SetContext(ctx)
+		r.Start(0, 1)
+		//repro:allow ctxpoll Next polls the armed context per candidate batch
+		for r.Next() {
+			regs := r.Regs()
+			if opts.FilterNulls && headHasNull(plan, regs) {
+				continue
+			}
+			t := projectHead(plan, regs)
+			k := t.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if !emit(t, k) {
+				return nil
+			}
+			count++
+			if opts.Limit > 0 && count >= opts.Limit {
+				return nil
+			}
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// headHasNull reports whether the current match projects a labelled null
+// into the head.
+func headHasNull(plan *Plan, regs []logic.Term) bool {
+	for _, h := range plan.head {
+		if h.slot >= 0 && regs[h.slot].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// projectHead materializes the head tuple of the current match. The returned
+// tuple is freshly allocated and owned by the caller.
+func projectHead(plan *Plan, regs []logic.Term) storage.Tuple {
+	t := make(storage.Tuple, len(plan.head))
+	for i, h := range plan.head {
+		if h.slot >= 0 {
+			t[i] = regs[h.slot]
+		} else {
+			t[i] = h.term
+		}
+	}
+	return t
 }
 
 // parallelEval fans the (plan × outer-shard) work units of a union out over
@@ -285,22 +375,10 @@ func runPlanShard(ctx context.Context, plan *Plan, ins *storage.Instance, opts O
 	r.SetContext(ctx)
 	cont = true
 	r.Run(shard, nshards, func(regs []logic.Term) bool {
-		if opts.FilterNulls {
-			for _, h := range plan.head {
-				if h.slot >= 0 && regs[h.slot].IsNull() {
-					return true
-				}
-			}
+		if opts.FilterNulls && headHasNull(plan, regs) {
+			return true
 		}
-		tuple := make(storage.Tuple, len(plan.head))
-		for i, h := range plan.head {
-			if h.slot >= 0 {
-				tuple[i] = regs[h.slot]
-			} else {
-				tuple[i] = h.term
-			}
-		}
-		out.AddOwned(tuple)
+		out.AddOwned(projectHead(plan, regs))
 		if opts.Limit > 0 && out.Len() >= opts.Limit {
 			cont = false
 			return false
@@ -333,7 +411,7 @@ func MatchesSeeded(body []logic.Atom, ins *storage.Instance, seed logic.Subst, y
 		seedVars = append(seedVars, v)
 	}
 	sort.Slice(seedVars, func(i, j int) bool { return seedVars[i].Name < seedVars[j].Name })
-	plan := CompileBody(body, ins, seedVars, PlannerDefault)
+	plan := CompileBody(body, ins, seedVars, PlannerDefault, JoinDefault)
 	r := plan.NewRunner()
 	if !r.Bind(ins) {
 		return

@@ -23,7 +23,8 @@ const cancelCheckMask = 0x0FFF
 
 // cursor is the iteration state of one join level.
 type cursor struct {
-	// posting lists candidate tuple offsets (index path); nil scans tuples.
+	// posting lists candidate tuple offsets (index or hash path); nil scans
+	// tuples.
 	posting []int
 	tuples  []storage.Tuple
 	n       int // candidates to visit
@@ -31,18 +32,35 @@ type cursor struct {
 	stride  int
 }
 
+// hashTable is the pooled composite-key table of one hash-probed join level,
+// tagged with the relation snapshot it was built from so a runner rebinding
+// to a new snapshot rebuilds lazily.
+type hashTable struct {
+	rel *storage.Relation
+	m   map[string][]int
+}
+
 // Runner is the mutable execution state of one plan: the register file, the
-// per-level cursors and the relation pointers resolved against an instance.
-// A Runner belongs to one goroutine; allocate one per worker (NewRunner) and
-// reuse it across executions — Bind, seed, Run allocate nothing.
+// per-level cursors, pooled hash tables, and the relation pointers resolved
+// against an instance. A Runner belongs to one goroutine; allocate one per
+// worker (NewRunner) and reuse it across executions — Bind, seed, Start and
+// Next allocate nothing in steady state.
 type Runner struct {
 	plan *Plan
 	regs []logic.Term
 	curs []cursor
 	rels []*storage.Relation
+	tabs []hashTable
+
+	// keyBuf is the reused scratch buffer for composite hash-probe keys.
+	keyBuf []byte
+
+	// depth and done are the resumable iterator position between Next calls.
+	depth int
+	done  bool
 
 	// ctx, when non-nil, is polled (amortized, see cancelCheckMask) during
-	// enumeration; on cancellation Run returns false and Err reports why.
+	// enumeration; on cancellation Next returns false and Err reports why.
 	ctx  context.Context
 	tick uint32
 	err  error
@@ -50,12 +68,21 @@ type Runner struct {
 
 // NewRunner allocates the execution state for the plan.
 func (p *Plan) NewRunner() *Runner {
-	return &Runner{
+	r := &Runner{
 		plan: p,
 		regs: make([]logic.Term, p.nslots),
 		curs: make([]cursor, len(p.atoms)),
 		rels: make([]*storage.Relation, len(p.atoms)),
+		done: true,
 	}
+	for _, a := range p.atoms {
+		if len(a.hashKey) > 0 {
+			r.tabs = make([]hashTable, len(p.atoms))
+			r.keyBuf = make([]byte, 0, 64)
+			break
+		}
+	}
+	return r
 }
 
 // SetContext arms the runner with a cancellation context: Run (and RunTuple)
@@ -150,29 +177,47 @@ func (r *Runner) RunTuple(tuple storage.Tuple, yield func(regs []logic.Term) boo
 	return r.Run(0, 1, yield)
 }
 
-// Run enumerates every match of the plan over the bound instance, invoking
-// yield with the register file for each; enumeration stops early when yield
-// returns false (Run then returns false). Shard k of nshards restricts the
-// outermost atom to every nshards-th candidate, so the shards partition the
-// match space exactly. The register slice passed to yield is reused across
-// calls — callers must copy what they keep. A runner armed with SetContext
-// additionally aborts (returning false, with Err set) when its context is
-// canceled; the poll is amortized so the hot loop stays allocation-free.
+// Start positions the runner at the beginning of the match space so Next can
+// pull matches one at a time (the Volcano open() of this executor). Shard k
+// of nshards restricts the outermost atom to every nshards-th candidate, so
+// the shards partition the match space exactly; Start(0, 1) iterates it all.
+// Requires a successful Bind (and SeedSubst for seeded plans) first.
 //
 //repro:hotpath
-func (r *Runner) Run(shard, nshards int, yield func(regs []logic.Term) bool) bool {
+func (r *Runner) Start(shard, nshards int) {
+	r.depth = 0
+	r.done = false
+	if len(r.plan.atoms) > 0 {
+		r.initCursor(0, shard, nshards)
+	}
+}
+
+// Next advances to the next match of the started enumeration, returning true
+// with the match available through Regs. It returns false when the match
+// space is exhausted or the armed context is canceled (Err distinguishes).
+// The register file is reused across calls — callers must copy what they
+// keep. The iterative backtracking loop performs no allocations; the context
+// poll is amortized (cancelCheckMask) so the hot loop stays branch-
+// predictable.
+//
+//repro:hotpath
+func (r *Runner) Next() bool {
+	if r.done {
+		return false
+	}
 	atoms := r.plan.atoms
 	if len(atoms) == 0 {
-		return yield(r.regs)
+		r.done = true
+		return true // the empty plan has exactly one (empty) match
 	}
 	last := len(atoms) - 1
-	r.initCursor(0, shard, nshards)
-	depth := 0
+	depth := r.depth
 	for {
 		cur := &r.curs[depth]
 		matched := false
 		for cur.pos < cur.n {
 			if r.canceled() {
+				r.done = true
 				return false
 			}
 			i := cur.pos
@@ -191,24 +236,49 @@ func (r *Runner) Run(shard, nshards int, yield func(regs []logic.Term) bool) boo
 		if !matched {
 			depth--
 			if depth < 0 {
-				return true
+				r.done = true
+				r.depth = 0
+				return false
 			}
 			continue
 		}
 		if depth == last {
-			if !yield(r.regs) {
-				return false
-			}
-			continue
+			r.depth = depth
+			return true
 		}
 		depth++
 		r.initCursor(depth, 0, 1)
 	}
 }
 
-// initCursor positions the cursor of one level on its candidate set, probing
-// the planned index column with the key register (or constant) when the
-// access path is an index, scanning otherwise.
+// Regs exposes the register file holding the current match after a true
+// Next. The slice is reused by the next Next call — copy what you keep.
+//
+//repro:hotpath
+func (r *Runner) Regs() []logic.Term { return r.regs }
+
+// Run enumerates every match of the plan over the bound instance, invoking
+// yield with the register file for each; enumeration stops early when yield
+// returns false (Run then returns false). It is a thin collector over the
+// Start/Next iterator core — streaming consumers drive Next directly. A
+// runner armed with SetContext aborts (returning false, with Err set) when
+// its context is canceled.
+//
+//repro:hotpath
+func (r *Runner) Run(shard, nshards int, yield func(regs []logic.Term) bool) bool {
+	r.Start(shard, nshards)
+	//repro:allow ctxpoll Next polls the armed context per candidate batch
+	for r.Next() {
+		if !yield(r.regs) {
+			return false
+		}
+	}
+	return r.err == nil
+}
+
+// initCursor positions the cursor of one level on its candidate set: a
+// composite hash probe when the plan chose a hash join for the level, an
+// index probe on the planned column otherwise, a scan as the fallback.
 //
 //repro:hotpath
 func (r *Runner) initCursor(depth, start, stride int) {
@@ -218,6 +288,15 @@ func (r *Runner) initCursor(depth, start, stride int) {
 	cur.tuples = rel.Tuples()
 	cur.pos = start
 	cur.stride = stride
+	if len(step.hashKey) > 0 {
+		if r.tabs[depth].rel != rel {
+			r.buildHashTable(depth, rel)
+		}
+		//repro:allow hotalloc map read through string(key) is allocation-elided by the compiler
+		cur.posting = r.tabs[depth].m[string(r.probeKey(step))]
+		cur.n = len(cur.posting)
+		return
+	}
 	if step.idxCol >= 0 {
 		key := step.keyTerm
 		if step.keySlot >= 0 {
@@ -229,6 +308,54 @@ func (r *Runner) initCursor(depth, start, stride int) {
 	}
 	cur.posting = nil
 	cur.n = len(cur.tuples)
+}
+
+// buildHashTable materializes the composite-key table for one hash-probed
+// level: every tuple of the relation keyed by the concatenation of its
+// hash-key columns (constant key entries use the tuple's own column value, so
+// non-matching tuples land in buckets no probe ever assembles). Built once
+// per (runner, relation snapshot) and amortized across every probe at the
+// level; deliberately not //repro:hotpath — it is the cold open of the
+// iterator, not its steady state.
+func (r *Runner) buildHashTable(depth int, rel *storage.Relation) {
+	step := &r.plan.atoms[depth]
+	tuples := rel.Tuples()
+	m := make(map[string][]int, len(tuples))
+	buf := r.keyBuf
+	for i, t := range tuples {
+		buf = buf[:0]
+		for _, k := range step.hashKey {
+			buf = appendTermKey(buf, t[k.col])
+		}
+		m[string(buf)] = append(m[string(buf)], i)
+	}
+	r.keyBuf = buf
+	r.tabs[depth] = hashTable{rel: rel, m: m}
+}
+
+// probeKey assembles the composite probe key for a hash-probed level into the
+// runner's reused scratch buffer. Hot but allocation-free in steady state
+// (the buffer is reused across probes), so — like the chase's trigger-key
+// helpers — it stays un-annotated by design.
+func (r *Runner) probeKey(step *atomStep) []byte {
+	buf := r.keyBuf[:0]
+	for _, k := range step.hashKey {
+		t := k.term
+		if k.kind == opEq {
+			t = r.regs[k.slot]
+		}
+		buf = appendTermKey(buf, t)
+	}
+	r.keyBuf = buf
+	return buf
+}
+
+// appendTermKey appends one term's canonical encoding (kind digit, name, NUL
+// separator — the storage.Tuple.Key scheme) to a hash-key buffer.
+func appendTermKey(buf []byte, t logic.Term) []byte {
+	buf = append(buf, '0'+byte(t.Kind))
+	buf = append(buf, t.Name...)
+	return append(buf, 0)
 }
 
 // check runs one atom's micro-program against a candidate tuple, binding

@@ -69,6 +69,78 @@ func ParsePlanner(s string) (Planner, error) {
 	}
 }
 
+// JoinStrategy selects how an atom with two or more already-known columns is
+// matched: by probing the single most selective per-column index (nested,
+// the PR-4 executor) or by building a composite-key hash table over all known
+// columns (hash), so the probe filters by every known column at once.
+type JoinStrategy int
+
+const (
+	// JoinDefault resolves to the package-wide DefaultJoin.
+	JoinDefault JoinStrategy = iota
+	// JoinAuto lets the cost model decide per atom: hash when the relation is
+	// large enough to amortize the build and the correlated-pair statistics
+	// (storage.Relation.PairDistinct) show the composite key is genuinely
+	// more selective than the best single column.
+	JoinAuto
+	// JoinNested always probes the single best per-column index — kept as a
+	// comparison mode.
+	JoinNested
+	// JoinHash forces the composite hash table whenever an atom has at least
+	// two known columns.
+	JoinHash
+)
+
+// DefaultJoin is what JoinDefault resolves to. Flipped globally by benchmarks
+// (JOIN env) and CLIs to compare strategies.
+var DefaultJoin = JoinAuto
+
+// Effective resolves JoinDefault to the package default.
+func (j JoinStrategy) Effective() JoinStrategy {
+	if j == JoinDefault {
+		return DefaultJoin
+	}
+	return j
+}
+
+// String names the strategy.
+func (j JoinStrategy) String() string {
+	switch j.Effective() {
+	case JoinNested:
+		return "nested"
+	case JoinHash:
+		return "hash"
+	default:
+		return "auto"
+	}
+}
+
+// ParseJoin parses a -join flag value.
+func ParseJoin(s string) (JoinStrategy, error) {
+	switch s {
+	case "", "default":
+		return JoinDefault, nil
+	case "auto":
+		return JoinAuto, nil
+	case "nested":
+		return JoinNested, nil
+	case "hash":
+		return JoinHash, nil
+	default:
+		return JoinDefault, fmt.Errorf("eval: unknown join strategy %q (want auto, nested or hash)", s)
+	}
+}
+
+// JoinAuto admission thresholds: the relation must carry at least
+// hashJoinMinRows tuples (amortizing the table build over enough probes to
+// matter) and the composite key must be at least hashJoinGain times more
+// selective than the best single column — below that, the single-column
+// index probe already returns nearly the same posting list for free.
+const (
+	hashJoinMinRows = 64
+	hashJoinGain    = 2.0
+)
+
 // opKind discriminates the executor's per-argument micro-operations.
 type opKind uint8
 
@@ -103,6 +175,13 @@ type atomStep struct {
 	// compile-time constant key).
 	keySlot int
 	keyTerm logic.Term
+	// hashKey, when non-empty, switches the atom to a composite-key hash
+	// probe: the executor builds (once per relation snapshot) a hash table
+	// keyed by every listed column and probes it with the key assembled from
+	// registers (opEq entries) and constants (opConst entries). Equality on
+	// every key column is guaranteed by the probe, so ops skips them. idxCol
+	// is -1 when hashKey is set.
+	hashKey []op
 	ops     []op
 }
 
@@ -117,6 +196,7 @@ type headOut struct {
 // lives in a Runner.
 type Plan struct {
 	planner Planner
+	join    JoinStrategy
 	nslots  int
 	// seedOps is the micro-program run against the seed tuple of a delta
 	// plan (CompileDelta); nil for ordinary plans.
@@ -137,6 +217,9 @@ type AtomAccess struct {
 	Pred string
 	// Index is the probed index column, or -1 for a full scan.
 	Index int
+	// Hash lists the composite hash-key columns when the atom is matched by
+	// hash probe; nil for index probe or scan.
+	Hash []int
 }
 
 // Access returns the planned atom order with each atom's access path, in
@@ -144,13 +227,20 @@ type AtomAccess struct {
 func (p *Plan) Access() []AtomAccess {
 	out := make([]AtomAccess, len(p.atoms))
 	for i, a := range p.atoms {
-		out[i] = AtomAccess{Pred: a.pred, Index: a.idxCol}
+		acc := AtomAccess{Pred: a.pred, Index: a.idxCol}
+		for _, k := range a.hashKey {
+			acc.Hash = append(acc.Hash, k.col)
+		}
+		out[i] = acc
 	}
 	return out
 }
 
 // Planner returns the resolved strategy the plan was compiled with.
 func (p *Plan) Planner() Planner { return p.planner }
+
+// Join returns the resolved join strategy the plan was compiled with.
+func (p *Plan) Join() JoinStrategy { return p.join }
 
 // Slots maps variables to their register slots, -1 for variables the plan
 // never binds. The chase uses it to read trigger frontiers straight out of
@@ -168,15 +258,15 @@ func (p *Plan) Slots(vars []logic.Term) []int {
 }
 
 // CompileCQ compiles a conjunctive query into a plan with head projection.
-func CompileCQ(q *query.CQ, ins *storage.Instance, planner Planner) *Plan {
-	return compile(&q.Head, q.Body, -1, nil, ins, planner)
+func CompileCQ(q *query.CQ, ins *storage.Instance, planner Planner, join JoinStrategy) *Plan {
+	return compile(&q.Head, q.Body, -1, nil, ins, planner, join)
 }
 
 // CompileUCQ compiles every member CQ of a union.
-func CompileUCQ(u *query.UCQ, ins *storage.Instance, planner Planner) []*Plan {
+func CompileUCQ(u *query.UCQ, ins *storage.Instance, planner Planner, join JoinStrategy) []*Plan {
 	plans := make([]*Plan, len(u.CQs))
 	for i, q := range u.CQs {
-		plans[i] = CompileCQ(q, ins, planner)
+		plans[i] = CompileCQ(q, ins, planner, join)
 	}
 	return plans
 }
@@ -185,8 +275,8 @@ func CompileUCQ(u *query.UCQ, ins *storage.Instance, planner Planner) []*Plan {
 // pre-bound: they occupy the first registers, filled by Runner.SeedSubst
 // before enumeration, and steer the atom order toward atoms they make
 // selective. Every seed variable must be mapped to a rigid term at run time.
-func CompileBody(body []logic.Atom, ins *storage.Instance, seedVars []logic.Term, planner Planner) *Plan {
-	return compile(nil, body, -1, seedVars, ins, planner)
+func CompileBody(body []logic.Atom, ins *storage.Instance, seedVars []logic.Term, planner Planner, join JoinStrategy) *Plan {
+	return compile(nil, body, -1, seedVars, ins, planner, join)
 }
 
 // CompileDelta compiles a rule body with atom di pinned to a seed tuple: the
@@ -195,15 +285,16 @@ func CompileBody(body []logic.Atom, ins *storage.Instance, seedVars []logic.Term
 // and constants — then joins the remaining atoms. The semi-naive chase
 // compiles one delta plan per (rule, body atom) and reuses it for every
 // delta fact of every round.
-func CompileDelta(body []logic.Atom, di int, ins *storage.Instance, planner Planner) *Plan {
-	return compile(nil, body, di, nil, ins, planner)
+func CompileDelta(body []logic.Atom, di int, ins *storage.Instance, planner Planner, join JoinStrategy) *Plan {
+	return compile(nil, body, di, nil, ins, planner, join)
 }
 
 // compile is the shared planner: number variables into slots, order the
 // atoms, fix each atom's access path, and emit the micro-programs.
-func compile(head *logic.Atom, body []logic.Atom, seedAtom int, seedVars []logic.Term, ins *storage.Instance, planner Planner) *Plan {
+func compile(head *logic.Atom, body []logic.Atom, seedAtom int, seedVars []logic.Term, ins *storage.Instance, planner Planner, join JoinStrategy) *Plan {
 	planner = planner.Effective()
-	p := &Plan{planner: planner, varSlot: make(map[logic.Term]int)}
+	join = join.Effective()
+	p := &Plan{planner: planner, join: join, varSlot: make(map[logic.Term]int)}
 	slotOf := func(v logic.Term) int {
 		if s, ok := p.varSlot[v]; ok {
 			return s
@@ -267,10 +358,12 @@ func compile(head *logic.Atom, body []logic.Atom, seedAtom int, seedVars []logic
 		// the one with the most distinct values — the shortest expected
 		// posting list. Unknown stats fall back to the first such column.
 		best, bestDistinct := -1, -1
+		var known []int
 		for j, t := range a.Args {
 			if t.IsVar() && !bound[t] {
 				continue
 			}
+			known = append(known, j)
 			d := 0
 			if statsOK {
 				d = rel.Distinct(j)
@@ -279,7 +372,18 @@ func compile(head *logic.Atom, body []logic.Atom, seedAtom int, seedVars []logic
 				best, bestDistinct = j, d
 			}
 		}
-		if best >= 0 {
+		if useHashJoin(join, rel, statsOK, known, bestDistinct) {
+			// Composite-key hash probe over every known column: the executor
+			// builds the table once per relation snapshot and the probe
+			// guarantees equality on all of them at once.
+			for _, j := range known {
+				if t := a.Args[j]; t.IsVar() {
+					step.hashKey = append(step.hashKey, op{kind: opEq, col: j, slot: p.varSlot[t]})
+				} else {
+					step.hashKey = append(step.hashKey, op{kind: opConst, col: j, term: t})
+				}
+			}
+		} else if best >= 0 {
 			step.idxCol = best
 			if t := a.Args[best]; t.IsVar() {
 				step.keySlot = p.varSlot[t]
@@ -287,23 +391,31 @@ func compile(head *logic.Atom, body []logic.Atom, seedAtom int, seedVars []logic
 				step.keyTerm = t
 			}
 		}
+		keyed := func(col int) bool {
+			for _, k := range step.hashKey {
+				if k.col == col {
+					return true
+				}
+			}
+			return false
+		}
 
-		// Micro-program: one op per column, except the probed column when the
-		// index already guarantees equality (a probe on slot s implies
-		// tuple[col] == regs[s]; further occurrences of the same variable
-		// still emit opEq).
+		// Micro-program: one op per column, except columns the access path
+		// already guarantees — the probed index column (a probe on slot s
+		// implies tuple[col] == regs[s]; further occurrences of the same
+		// variable still emit opEq) and every hash-key column.
 		for j, t := range a.Args {
 			if !t.IsVar() {
-				if j == step.idxCol {
-					continue // index probe guarantees the constant
+				if j == step.idxCol || keyed(j) {
+					continue // probe guarantees the constant
 				}
 				step.ops = append(step.ops, op{kind: opConst, col: j, term: t})
 				continue
 			}
 			s := slotOf(t)
 			if bound[t] {
-				if j == step.idxCol && step.keySlot == s {
-					continue // index probe guarantees the equality
+				if (j == step.idxCol && step.keySlot == s) || keyed(j) {
+					continue // probe guarantees the equality
 				}
 				step.ops = append(step.ops, op{kind: opEq, col: j, slot: s})
 			} else {
@@ -328,12 +440,48 @@ func compile(head *logic.Atom, body []logic.Atom, seedAtom int, seedVars []logic
 	return p
 }
 
+// useHashJoin decides whether an atom with the given known columns should be
+// matched by composite-key hash probe instead of the single-column index.
+// JoinHash forces it whenever there are two or more key columns; JoinAuto
+// additionally requires the relation to clear the size threshold and the
+// correlated-pair statistics to show a real selectivity gain over the best
+// single column (two perfectly correlated columns have PairDistinct equal to
+// the single-column distinct count — hashing both buys nothing).
+func useHashJoin(join JoinStrategy, rel *storage.Relation, statsOK bool, known []int, bestDistinct int) bool {
+	if len(known) < 2 {
+		return false
+	}
+	switch join {
+	case JoinNested:
+		return false
+	case JoinHash:
+		return true
+	}
+	if !statsOK || rel.Len() < hashJoinMinRows {
+		return false
+	}
+	composite := bestDistinct
+	for x := 0; x < len(known); x++ {
+		for y := x + 1; y < len(known); y++ {
+			if d := rel.PairDistinct(known[x], known[y]); d > composite {
+				composite = d
+			}
+		}
+	}
+	return float64(composite) >= hashJoinGain*float64(bestDistinct)
+}
+
 // orderCost greedily picks, at each step, the atom with the smallest
 // estimated result cardinality given the variables bound so far: the
-// relation size divided by the distinct count of every bound column (each
-// bound column filters independently; repeated variables count once per
-// column). Bound variables from earlier picks make joins selective, so the
-// order chains through shared variables whenever the statistics reward it.
+// relation size divided by the selectivity of every bound column. The first
+// bound column divides by its distinct count; each further one divides by
+// its conditional fanout given the previous bound column —
+// PairDistinct(prev,j)/Distinct(prev) — so correlated column pairs no longer
+// get double-counted by the independence assumption (perfectly correlated
+// pairs contribute a factor of 1; independent pairs recover the classical
+// Distinct(j)). Bound variables from earlier picks make joins selective, so
+// the order chains through shared variables whenever the statistics reward
+// it.
 func orderCost(body []logic.Atom, ins *storage.Instance, bound map[logic.Term]bool) []logic.Atom {
 	nowBound := make(map[logic.Term]bool, len(bound))
 	for v := range bound {
@@ -347,13 +495,21 @@ func orderCost(body []logic.Atom, ins *storage.Instance, bound map[logic.Term]bo
 			return 0 // empty relation: prunes everything, run it first
 		}
 		est := float64(rel.Len())
+		prev := -1
 		for j, t := range a.Args {
 			if t.IsVar() && !nowBound[t] {
 				continue
 			}
-			if d := rel.Distinct(j); d > 1 {
-				est /= float64(d)
+			if prev < 0 {
+				if d := rel.Distinct(j); d > 1 {
+					est /= float64(d)
+				}
+			} else if dp := rel.Distinct(prev); dp > 0 {
+				if f := float64(rel.PairDistinct(prev, j)) / float64(dp); f > 1 {
+					est /= f
+				}
 			}
+			prev = j
 		}
 		return est
 	}

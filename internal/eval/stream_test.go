@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// randomWorkload builds a seeded random instance and query with enough
+// shared variables and constants to exercise multi-column joins (the hash
+// path needs atoms with two or more bound columns).
+func randomWorkload(rng *rand.Rand) (*storage.Instance, *query.UCQ) {
+	consts := make([]logic.Term, 6)
+	for i := range consts {
+		consts[i] = logic.NewConst(fmt.Sprintf("d%d", i))
+	}
+	vars := []logic.Term{
+		logic.NewVar("X"), logic.NewVar("Y"), logic.NewVar("Z"), logic.NewVar("W"),
+	}
+	preds := []struct {
+		name  string
+		arity int
+	}{{"r", 2}, {"s", 1}, {"t", 3}, {"u", 2}}
+
+	ins := storage.NewInstance()
+	for _, p := range preds {
+		for k := 0; k < 10+rng.Intn(30); k++ {
+			args := make([]logic.Term, p.arity)
+			for j := range args {
+				args[j] = consts[rng.Intn(len(consts))]
+			}
+			if err := ins.InsertAtom(logic.NewAtom(p.name, args...)); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	var cqs []*query.CQ
+	for len(cqs) < 1+rng.Intn(3) {
+		n := 1 + rng.Intn(4)
+		body := make([]logic.Atom, n)
+		for i := range body {
+			p := preds[rng.Intn(len(preds))]
+			args := make([]logic.Term, p.arity)
+			for j := range args {
+				if rng.Intn(5) == 0 {
+					args[j] = consts[rng.Intn(len(consts))]
+				} else {
+					args[j] = vars[rng.Intn(len(vars))]
+				}
+			}
+			body[i] = logic.NewAtom(p.name, args...)
+		}
+		// Every disjunct must share the UCQ arity; pad short variable sets by
+		// repeating (or with a constant for the all-ground case).
+		bodyVars := logic.VarsOf(body)
+		head := make([]logic.Term, 2)
+		for k := range head {
+			if len(bodyVars) > 0 {
+				head[k] = bodyVars[k%len(bodyVars)]
+			} else {
+				head[k] = consts[0]
+			}
+		}
+		cq, err := query.New(logic.NewAtom("q", head...), body)
+		if err != nil {
+			continue
+		}
+		cqs = append(cqs, cq)
+	}
+	u, err := query.NewUCQ(cqs...)
+	if err != nil {
+		panic(err)
+	}
+	return ins, u
+}
+
+// collectStream drains Each into an ordered tuple list.
+func collectStream(t *testing.T, plans []*Plan, ins *storage.Instance, opts Options) []storage.Tuple {
+	t.Helper()
+	var out []storage.Tuple
+	err := Each(context.Background(), plans, ins, opts, func(tp storage.Tuple) bool {
+		out = append(out, tp)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestStreamingProperties is the ISSUE property suite for the iterator
+// executor, over seeded random instances and UCQs:
+//
+//   - streamed ≡ materialized: the answers Each emits are exactly the set
+//     RunPlansCtx materializes;
+//   - nested ≡ hash ≡ auto: the join strategy is a performance choice, never
+//     semantics;
+//   - seq ≡ par: the parallel evaluator agrees with the sequential stream;
+//   - limit-k ≡ prefix: the k-limited stream is exactly the first
+//     min(k, n) tuples of the unlimited (deterministic, sequential) stream.
+func TestStreamingProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		ins, u := randomWorkload(rng)
+		arity := u.Arity()
+
+		full := RunPlans(CompileUCQ(u, ins, PlannerCost, JoinNested), arity, ins, Options{})
+
+		for _, join := range []JoinStrategy{JoinAuto, JoinNested, JoinHash} {
+			plans := CompileUCQ(u, ins, PlannerCost, join)
+
+			streamed := collectStream(t, plans, ins, Options{Join: join})
+			set := NewAnswers(arity)
+			for _, tp := range streamed {
+				set.Add(tp)
+			}
+			if !set.Equal(full) {
+				t.Fatalf("trial %d join=%v: streamed set differs from materialized\nstreamed: %v\nfull: %v\nquery: %v",
+					trial, join, set, full, u)
+			}
+			if len(streamed) != full.Len() {
+				t.Fatalf("trial %d join=%v: stream emitted %d tuples, %d distinct expected (dedup leak)",
+					trial, join, len(streamed), full.Len())
+			}
+
+			par, err := RunPlansCtx(context.Background(), plans, arity, ins, Options{Parallelism: 3, Join: join})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !par.Equal(full) {
+				t.Fatalf("trial %d join=%v: parallel answers diverge from sequential", trial, join)
+			}
+
+			k := 1 + rng.Intn(full.Len()+2) // 0 means unlimited, so start at 1
+			limited := collectStream(t, plans, ins, Options{Join: join, Limit: k})
+			want := k
+			if full.Len() < k {
+				want = full.Len()
+			}
+			if len(limited) != want {
+				t.Fatalf("trial %d join=%v: limit %d emitted %d tuples, want %d",
+					trial, join, k, len(limited), want)
+			}
+			for i, tp := range limited {
+				if tp.Key() != streamed[i].Key() {
+					t.Fatalf("trial %d join=%v: limit %d row %d = %v, want prefix of unlimited stream (%v)",
+						trial, join, k, i, tp, streamed[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamConcurrentRunners runs many streaming iterators over one shared
+// plan set and instance concurrently — hash tables and register files are
+// per-Runner state, so concurrent streams over shared immutable plans must
+// be race-clean (this test earns its keep under -race).
+func TestStreamConcurrentRunners(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ins, u := randomWorkload(rng)
+	arity := u.Arity()
+	plans := CompileUCQ(u, ins, PlannerCost, JoinHash)
+	want := RunPlans(plans, arity, ins, Options{})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := NewAnswers(arity)
+			err := Each(context.Background(), plans, ins, Options{Join: JoinHash}, func(tp storage.Tuple) bool {
+				got.Add(tp)
+				return true
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !got.Equal(want) {
+				t.Errorf("concurrent stream diverged: %d answers, want %d", got.Len(), want.Len())
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -54,13 +54,17 @@ func newBatcher(ont *repro.Ontology) *batcher {
 // coalesced requests are indistinguishable by design (they would also be
 // indistinguishable if the requests had raced sequentially).
 //
-// Cancellation semantics: a caller whose ctx expires while parked stops
-// waiting and gets its context error, but the batch its facts joined may
-// still commit — exactly like a database client disconnecting after issuing
-// a statement. The flush itself runs under the batch's combined context; a
-// flush aborted mid-chase rolls back (AddFactAtoms) and every member is
-// retried individually under its own ctx, so one canceled or malformed
-// member cannot fail its neighbors.
+// Cancellation semantics: a context error is returned only when the facts
+// verifiably did not commit. A caller whose ctx expires while its request
+// still sits on the pending queue withdraws it under the lock — no flush can
+// see it afterwards, so the timeout is truthful. Once a flush has claimed
+// the request the outcome is already decided (or about to be): the caller
+// waits for the result the flush always delivers instead of guessing, so a
+// 504 never hides a batch that actually committed. The flush itself runs
+// detached from any single member's deadline; a flush aborted mid-chase
+// rolls back (AddFactAtoms) and every member is retried individually under
+// its own ctx, so one canceled or malformed member cannot fail its
+// neighbors.
 func (b *batcher) AddFacts(ctx context.Context, src string) (writeResult, error) {
 	facts, err := parser.ParseFacts(src)
 	if err != nil {
@@ -81,7 +85,23 @@ func (b *batcher) AddFacts(ctx context.Context, src string) (writeResult, error)
 		case res := <-req.done:
 			return res, res.err
 		case <-ctx.Done():
-			return writeResult{}, ctx.Err()
+			// Commit ticket: report the context error only if the request
+			// verifiably did not commit. Still on the pending queue means no
+			// flush has claimed it — withdraw it so none ever will. Gone from
+			// the queue means a flush owns it; its result (done is buffered,
+			// flush always delivers) is the truth about whether the facts
+			// landed.
+			b.mu.Lock()
+			for i, p := range b.pending {
+				if p == req {
+					b.pending = append(b.pending[:i], b.pending[i+1:]...)
+					b.mu.Unlock()
+					return writeResult{}, ctx.Err()
+				}
+			}
+			b.mu.Unlock()
+			res := <-req.done
+			return res, res.err
 		}
 	}
 	// Become the flusher for exactly one batch — the one containing our own

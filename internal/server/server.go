@@ -22,6 +22,15 @@
 //	DELETE /v1/ontologies/{name}
 //	GET    /v1/ontologies/{name}/stats
 //	POST   /v1/ontologies/{name}/query   body: {"query": "q(X) :- p(X) ."}
+//
+// Queries support a ?limit=N query parameter (or "limit" body field)
+// bounding the distinct answers produced — the streaming executor stops as
+// soon as the bound is reached — and an NDJSON streaming mode ("stream":
+// true in the body, or Accept: application/x-ndjson) that flushes one JSON
+// array per answer as the executor produces it, followed by a trailing
+// object line carrying the count (and the error, if evaluation died
+// mid-stream after the status line was already committed).
+//
 //	POST   /v1/ontologies/{name}/facts   body: {"facts": "p(a) . p(b) ."}
 //	DELETE /v1/ontologies/{name}/facts   body: {"facts": "p(a) ."}
 //	POST   /v1/ontologies/{name}/rules   body: {"rule": "p(X) -> q(X) ."}
@@ -37,6 +46,8 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -197,6 +208,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) 
 		"rules":           t.ont.Rules().Len(),
 		"baseFacts":       t.ont.Data().Size(),
 		"materialization": m,
+		// Surfaced at top level: a growing value on a serving process means
+		// incremental maintenance is being bypassed (e.g. RemoveRule against
+		// a provenance-less cache forcing silent full rebuilds).
+		"fullRebuilds": m.FullRebuilds,
 	})
 }
 
@@ -209,6 +224,14 @@ type queryRequest struct {
 	MaxSteps    int    `json:"maxSteps,omitempty"`
 	MaxRounds   int    `json:"maxRounds,omitempty"`
 	Planner     string `json:"planner,omitempty"` // "cost" | "greedy"
+	Join        string `json:"join,omitempty"`    // "auto" | "nested" | "hash"
+	// Limit bounds the distinct answers produced (0 = all); the ?limit=
+	// query parameter overrides it.
+	Limit int `json:"limit,omitempty"`
+	// Stream switches the response to NDJSON: one JSON array per answer,
+	// flushed as produced, then a trailing object with the count. The
+	// Accept: application/x-ndjson header has the same effect.
+	Stream bool `json:"stream,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, t *tenant) {
@@ -245,6 +268,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, t *tenant) 
 		}
 		opts.Planner = p
 	}
+	if req.Join != "" {
+		j, err := repro.ParseJoin(req.Join)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		opts.Join = j
+	}
+	if req.Limit > 0 {
+		opts.Limit = req.Limit
+	}
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q: want a non-negative integer", q))
+			return
+		}
+		opts.Limit = n
+	}
+	if req.Stream || strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+		streamQuery(w, r, t, req.Query, opts)
+		return
+	}
 	ans, err := t.ont.AnswerCtx(r.Context(), req.Query, opts)
 	if err != nil {
 		writeErr(w, errStatus(err), err)
@@ -254,6 +300,57 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, t *tenant) 
 		"count":   ans.Len(),
 		"answers": renderAnswers(ans),
 	})
+}
+
+// streamQuery answers in NDJSON: one JSON array per answer, flushed to the
+// client as the streaming executor produces it, then one trailing JSON
+// object ({"count": N}, plus "error" if evaluation failed after rows were
+// already on the wire). The header is written lazily so a failure before
+// the first answer still gets a proper error status; after the first row
+// the status is committed and the error can only ride in the trailer.
+func streamQuery(w http.ResponseWriter, r *http.Request, t *tenant, query string, opts repro.Options) {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flusher, _ := w.(http.Flusher)
+	started := false
+	start := func() {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		started = true
+	}
+	n := 0
+	err := t.ont.AnswerEach(r.Context(), query, opts, func(a repro.Answer) bool {
+		if !started {
+			start()
+		}
+		row := make([]string, len(a))
+		for i, x := range a {
+			row[i] = x.String()
+		}
+		if enc.Encode(row) != nil {
+			return false // client went away; stop the executor
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		n++
+		return true
+	})
+	if err != nil && !started {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	if !started {
+		start()
+	}
+	trailer := map[string]any{"count": n}
+	if err != nil {
+		trailer["error"] = err.Error()
+	}
+	_ = enc.Encode(trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // factsRequest is the body of POST/DELETE .../facts: ground facts in

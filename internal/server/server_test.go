@@ -1,9 +1,11 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -347,5 +349,203 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	httpSrv.Close() // Close drains active connections like Shutdown does
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("in-flight request got %d", resp.StatusCode)
+	}
+}
+
+// parkRequest arms b as if a flush were inside the pipeline, fires AddFacts
+// on a goroutine so it parks, and returns the parked request plus the
+// channel its outcome will land on.
+func parkRequest(t *testing.T, b *batcher, ctx context.Context, facts string) (*writeReq, chan writeResult, chan error) {
+	t.Helper()
+	b.mu.Lock()
+	b.flushing = true
+	b.mu.Unlock()
+	resc := make(chan writeResult, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := b.AddFacts(ctx, facts)
+		resc <- res
+		errc <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		if len(b.pending) > 0 {
+			req := b.pending[0]
+			b.mu.Unlock()
+			return req, resc, errc
+		}
+		b.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatal("request never parked on the pending queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatcherCancelAfterClaimReportsCommit is the commit-vs-timeout race
+// regression (white box): a parked request whose batch a flush has already
+// claimed must report the flush's outcome, not a fabricated context error —
+// the old select returned 504 for facts that verifiably committed.
+func TestBatcherCancelAfterClaimReportsCommit(t *testing.T) {
+	b := newBatcher(repro.MustParse(familyProgram))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, resc, errc := parkRequest(t, b, ctx, "parent(late, later) .")
+
+	// A flush claims the batch (pending empties), THEN the caller's ctx
+	// expires, THEN the commit lands. The caller must wait for the verdict.
+	b.mu.Lock()
+	b.pending = nil
+	b.mu.Unlock()
+	cancel()
+	// Let the caller reach its ctx.Done branch before the result arrives, so
+	// the test fails (not flakes) if the select shortcut comes back.
+	time.Sleep(20 * time.Millisecond)
+	req.done <- writeResult{added: 1, coalesced: 2}
+
+	res, err := <-resc, <-errc
+	if err != nil {
+		t.Fatalf("claimed request reported %v; its facts committed", err)
+	}
+	if res.added != 1 || res.coalesced != 2 {
+		t.Fatalf("claimed request got %+v, want the flush result", res)
+	}
+}
+
+// TestBatcherCancelWithdrawsUnclaimed is the other half of the ticket: a
+// request still on the pending queue when its ctx expires is withdrawn under
+// the lock, so the context error is truthful — no later flush can commit it.
+func TestBatcherCancelWithdrawsUnclaimed(t *testing.T) {
+	b := newBatcher(repro.MustParse(familyProgram))
+	ctx, cancel := context.WithCancel(context.Background())
+	_, resc, errc := parkRequest(t, b, ctx, "parent(never, landed) .")
+
+	cancel()
+	res, err := <-resc, <-errc
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("unclaimed canceled request returned (%+v, %v); want context.Canceled", res, err)
+	}
+	b.mu.Lock()
+	n := len(b.pending)
+	b.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d withdrawn request(s) still pending; a later flush could commit canceled facts", n)
+	}
+}
+
+// TestQueryStreamNDJSON exercises the streaming answer path over HTTP: rows
+// arrive as NDJSON arrays with a trailing count object, ?limit= caps the
+// stream, the streamed rows match the materialized endpoint, and a failure
+// before the first row still gets a proper error status.
+func TestQueryStreamNDJSON(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.Add("fam", repro.MustParse(familyProgram))
+
+	stream := func(url, body, accept string) (int, string, [][]string, map[string]any) {
+		t.Helper()
+		req, err := http.NewRequest("POST", url, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rows [][]string
+		var trailer map[string]any
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			if line[0] == '[' {
+				var row []string
+				if err := json.Unmarshal(line, &row); err != nil {
+					t.Fatalf("bad NDJSON row %q: %v", line, err)
+				}
+				rows = append(rows, row)
+				continue
+			}
+			if trailer != nil {
+				t.Fatalf("multiple trailer objects; second: %q", line)
+			}
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				t.Fatalf("bad NDJSON trailer %q: %v", line, err)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), rows, trailer
+	}
+
+	// Full stream via the Accept header: all 3 ancestor pairs, then a count.
+	st, ct, rows, trailer := stream(ts.URL+"/v1/ontologies/fam/query",
+		`{"query": "q(X, Y) :- ancestor(X, Y) ."}`, "application/x-ndjson")
+	if st != http.StatusOK || ct != "application/x-ndjson" {
+		t.Fatalf("stream: status %d content-type %q", st, ct)
+	}
+	if len(rows) != 3 || trailer == nil || trailer["count"].(float64) != 3 {
+		t.Fatalf("stream: %d rows, trailer %v; want 3 rows and count 3", len(rows), trailer)
+	}
+	if _, hasErr := trailer["error"]; hasErr {
+		t.Fatalf("clean stream carried an error trailer: %v", trailer)
+	}
+	streamed := map[string]bool{}
+	for _, r := range rows {
+		streamed[strings.Join(r, ",")] = true
+	}
+
+	// The streamed set equals the materialized endpoint's answers.
+	body, _ := json.Marshal(map[string]string{"query": "q(X, Y) :- ancestor(X, Y) ."})
+	if st, m := doJSON(t, "POST", ts.URL+"/v1/ontologies/fam/query", string(body)); st != http.StatusOK {
+		t.Fatalf("materialized query: %d %v", st, m)
+	} else {
+		for _, row := range m["answers"].([]any) {
+			parts := make([]string, 0, 2)
+			for _, x := range row.([]any) {
+				parts = append(parts, x.(string))
+			}
+			if !streamed[strings.Join(parts, ",")] {
+				t.Fatalf("materialized answer %v missing from stream %v", parts, streamed)
+			}
+		}
+	}
+
+	// ?limit= caps the stream via the body "stream" switch.
+	st, _, rows, trailer = stream(ts.URL+"/v1/ontologies/fam/query?limit=2",
+		`{"query": "q(X, Y) :- ancestor(X, Y) .", "stream": true}`, "")
+	if st != http.StatusOK || len(rows) != 2 || trailer["count"].(float64) != 2 {
+		t.Fatalf("limited stream: status %d, %d rows, trailer %v; want 2 rows", st, len(rows), trailer)
+	}
+
+	// A failure before the first row keeps a real error status.
+	st, _, rows, _ = stream(ts.URL+"/v1/ontologies/fam/query",
+		`{"query": "q(X :- broken", "stream": true}`, "")
+	if st != http.StatusBadRequest || len(rows) != 0 {
+		t.Fatalf("pre-stream failure: status %d with %d rows, want 400 and none", st, len(rows))
+	}
+
+	// A bad ?limit= is rejected up front.
+	if st, _ := doJSON(t, "POST", ts.URL+"/v1/ontologies/fam/query?limit=banana", string(body)); st != http.StatusBadRequest {
+		t.Fatalf("bad limit: status %d, want 400", st)
+	}
+
+	// The limit also applies to the materialized (non-streaming) response.
+	if st, m := doJSON(t, "POST", ts.URL+"/v1/ontologies/fam/query?limit=1", string(body)); st != http.StatusOK || m["count"].(float64) != 1 {
+		t.Fatalf("materialized limited query: %d %v, want count 1", st, m)
+	}
+
+	// Stats expose the full-rebuild counter.
+	if st, m := doJSON(t, "GET", ts.URL+"/v1/ontologies/fam/stats", ""); st != http.StatusOK {
+		t.Fatalf("stats: %d %v", st, m)
+	} else if _, ok := m["fullRebuilds"]; !ok {
+		t.Fatalf("stats missing fullRebuilds: %v", m)
 	}
 }

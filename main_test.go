@@ -8,11 +8,12 @@ import (
 	"repro/internal/eval"
 )
 
-// TestMain lets the benchmark harness select the join-order strategy for
-// the whole suite: `PLANNER=greedy go test -bench ...` flips the package
-// default, which every evaluation without an explicit Options.Planner
-// inherits. `make bench-compare` runs the suite once per strategy and
-// benchstats them against each other.
+// TestMain lets the benchmark harness select the join-order and join
+// execution strategies for the whole suite: `PLANNER=greedy go test -bench
+// ...` and `JOIN=hash go test -bench ...` flip the package defaults, which
+// every evaluation without an explicit Options.Planner/Options.Join
+// inherits. `make bench-compare` runs the suite once per strategy along
+// either axis and benchstats the runs against each other.
 func TestMain(m *testing.M) {
 	if s := os.Getenv("PLANNER"); s != "" {
 		p, err := eval.ParsePlanner(s)
@@ -21,6 +22,14 @@ func TestMain(m *testing.M) {
 			os.Exit(2)
 		}
 		eval.DefaultPlanner = p.Effective()
+	}
+	if s := os.Getenv("JOIN"); s != "" {
+		j, err := eval.ParseJoin(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		eval.DefaultJoin = j.Effective()
 	}
 	os.Exit(m.Run())
 }

@@ -118,6 +118,13 @@ type Ontology struct {
 	// the first deletion pays one rebuild, after which repairs are
 	// incremental.
 	wantProv atomic.Bool
+	// fullRebuilds counts every time a published materialization was dropped
+	// — RemoveRule on a provenance-less cache, a repair that became
+	// impossible, a canceled mutation's rollback, an out-of-band Data()
+	// mutation — forcing the next chase-mode answer to rebuild from scratch.
+	// Surfaced through MaterializationStats so the formerly silent rebuild
+	// penalty is observable.
+	fullRebuilds atomic.Uint64
 
 	// planEpoch counts snapshot publications (materializations and base
 	// snapshots alike); the compiled-plan cache generation is keyed to it
@@ -196,6 +203,22 @@ const (
 // ParsePlanner parses a -planner flag value ("greedy" or "cost").
 func ParsePlanner(s string) (Planner, error) { return eval.ParsePlanner(s) }
 
+// JoinStrategy selects the join strategy used by query evaluation and the
+// chase; see eval.JoinStrategy. The zero value resolves to the package
+// default (cost-gated composite hash joins).
+type JoinStrategy = eval.JoinStrategy
+
+// Join strategies, re-exported for Options and CLI flags.
+const (
+	JoinDefault = eval.JoinDefault
+	JoinAuto    = eval.JoinAuto
+	JoinNested  = eval.JoinNested
+	JoinHash    = eval.JoinHash
+)
+
+// ParseJoin parses a -join flag value ("auto", "nested" or "hash").
+func ParseJoin(s string) (JoinStrategy, error) { return eval.ParseJoin(s) }
+
 // evalUCQ evaluates a union over a published snapshot through the
 // compiled-plan cache: the UCQ is compiled once per (canonical query,
 // planner, snapshot) and repeated queries run the cached plans directly.
@@ -209,14 +232,14 @@ func (o *Ontology) evalUCQ(u *query.UCQ, ins *storage.Instance, opts eval.Option
 // promptly and returns the context error. The snapshot being immutable,
 // abandoning an evaluation needs no cleanup.
 func (o *Ontology) evalUCQCtx(ctx context.Context, u *query.UCQ, ins *storage.Instance, opts eval.Options) (*eval.Answers, error) {
-	return eval.RunPlansCtx(ctx, o.compiledPlans(u, ins, opts.Planner), u.Arity(), ins, opts)
+	return eval.RunPlansCtx(ctx, o.compiledPlans(u, ins, opts.Planner, opts.Join), u.Arity(), ins, opts)
 }
 
 // compiledPlans returns the plans for u over ins, from the cache when warm.
 // Lock-free fast path aside from a short read-lock on the epoch's map; a
 // miss compiles outside any lock (compilation only reads the immutable
 // snapshot) and publishes the entry for the next caller.
-func (o *Ontology) compiledPlans(u *query.UCQ, ins *storage.Instance, planner eval.Planner) []*eval.Plan {
+func (o *Ontology) compiledPlans(u *query.UCQ, ins *storage.Instance, planner eval.Planner, join eval.JoinStrategy) []*eval.Plan {
 	epoch := o.planEpoch.Load()
 	repoch := o.rulesEpoch.Load()
 	pc := o.planCache.Load()
@@ -228,25 +251,27 @@ func (o *Ontology) compiledPlans(u *query.UCQ, ins *storage.Instance, planner ev
 			pc = o.planCache.Load()
 		}
 	}
-	key := planKey(u, planner)
+	key := planKey(u, planner, join)
 	pc.mu.RLock()
 	e := pc.m[key]
 	pc.mu.RUnlock()
 	if e != nil && e.ins == ins {
 		return e.plans
 	}
-	plans := eval.CompileUCQ(u, ins, planner)
+	plans := eval.CompileUCQ(u, ins, planner, join)
 	pc.mu.Lock()
 	pc.m[key] = &cachedPlans{ins: ins, plans: plans}
 	pc.mu.Unlock()
 	return plans
 }
 
-// planKey builds the cache key: the resolved planner strategy plus the
-// canonical (renaming- and body-order-invariant) form of every disjunct.
-func planKey(u *query.UCQ, planner eval.Planner) string {
+// planKey builds the cache key: the resolved planner and join strategies
+// plus the canonical (renaming- and body-order-invariant) form of every
+// disjunct.
+func planKey(u *query.UCQ, planner eval.Planner, join eval.JoinStrategy) string {
 	var b strings.Builder
 	b.WriteByte('0' + byte(planner.Effective()))
+	b.WriteByte('0' + byte(join.Effective()))
 	for _, q := range u.CQs {
 		b.WriteByte('\n')
 		b.WriteString(q.DedupKey())
@@ -524,7 +549,7 @@ func (o *Ontology) mutate(ctx context.Context, mut mutation) (mutationResult, er
 			// Unreachable after staging; commitInserts rolled the batch back.
 			// Publish nothing and drop any half-repaired materialization.
 			if w.touched {
-				o.mat.Store(nil)
+				o.dropMat()
 			}
 			return res, err
 		}
@@ -553,9 +578,20 @@ func (o *Ontology) mutate(ctx context.Context, mut mutation) (mutationResult, er
 	case w.touched:
 		o.publishMat(w.ins, w.state, w.terminated, dataMut, w.steps, w.rounds)
 	case w.had && !w.live:
-		o.mat.Store(nil) // maintenance became impossible; rebuild lazily
+		// Maintenance became impossible (truncated cache, missing
+		// provenance): rebuild lazily, and count the formerly silent full
+		// rebuild so MaterializationStats.FullRebuilds surfaces the penalty.
+		o.dropMat()
 	}
 	return res, w.err
+}
+
+// dropMat discards the published materialization and counts the drop: the
+// next chase-mode answer pays a full rebuild. Every drop site routes through
+// here so MaterializationStats.FullRebuilds reflects the true rebuild debt.
+func (o *Ontology) dropMat() {
+	o.mat.Store(nil)
+	o.fullRebuilds.Add(1)
 }
 
 // matWork is the in-flight copy-on-write materialization a mutation edits
@@ -598,7 +634,7 @@ func (o *Ontology) abortMutation(w *matWork, added, removed []logic.Atom) error 
 		o.mu.Unlock()
 	}
 	if w.had {
-		o.mat.Store(nil)
+		o.dropMat()
 	}
 	return w.ctxErr
 }
@@ -888,7 +924,7 @@ func (o *Ontology) CompactProvenance() int {
 func (o *Ontology) dropStaleSnapshots() {
 	mut := o.data.Mutations()
 	if m := o.mat.Load(); m != nil && m.baseMut != mut {
-		o.mat.Store(nil)
+		o.dropMat()
 	}
 	if s := o.base.Load(); s != nil && s.baseMut != mut {
 		o.base.Store(nil)
@@ -1150,6 +1186,17 @@ type Options struct {
 	// keeps the statistics-free order as a comparison mode). Any value yields
 	// the same answers.
 	Planner Planner
+	// Join selects the join strategy — single-column index probes
+	// (JoinNested) vs. composite-key hash tables (JoinHash) — for query
+	// evaluation and the chase; JoinAuto (the resolved default) lets the
+	// cost model decide per atom. Any value yields the same answers.
+	Join JoinStrategy
+	// Limit stops answering after this many distinct answers (0 = all). The
+	// limit is pushed into the streaming executor: the iterator tree stops
+	// as soon as it is satisfied instead of filtering a materialized set.
+	// Limit > 0 forces sequential evaluation, whose answer prefix is
+	// deterministic.
+	Limit int
 }
 
 // chaseOptions maps Options onto a (defaulted) chase configuration.
@@ -1159,6 +1206,7 @@ func (opts Options) chaseOptions() chase.Options {
 		MaxRounds:   opts.MaxRounds,
 		Parallelism: opts.Parallelism,
 		Planner:     opts.Planner,
+		Join:        opts.Join,
 	}
 	if co.MaxSteps == 0 {
 		co.MaxSteps = chase.DefaultMaxSteps
@@ -1167,6 +1215,18 @@ func (opts Options) chaseOptions() chase.Options {
 		co.MaxRounds = chase.DefaultMaxRounds
 	}
 	return co
+}
+
+// evalOptions maps Options onto the evaluation configuration shared by the
+// collecting and streaming answer paths.
+func (opts Options) evalOptions() eval.Options {
+	return eval.Options{
+		FilterNulls: true,
+		Limit:       opts.Limit,
+		Parallelism: opts.Parallelism,
+		Planner:     opts.Planner,
+		Join:        opts.Join,
+	}
 }
 
 // Answer computes the certain answers cert(q, P, D) for the query over the
@@ -1199,6 +1259,60 @@ func (o *Ontology) AnswerCtx(ctx context.Context, querySrc string, opts Options)
 	if err != nil {
 		return nil, err
 	}
+	u, ins, published, err := o.resolveAnswer(ctx, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	evalOpts := opts.evalOptions()
+	if !published {
+		// The instance was never published, so no later query can hit a cache
+		// entry pinning it; compile directly instead of polluting the cache.
+		return eval.RunPlansCtx(ctx, eval.CompileUCQ(u, ins, evalOpts.Planner, evalOpts.Join), u.Arity(), ins, evalOpts)
+	}
+	return o.evalUCQCtx(ctx, u, ins, evalOpts)
+}
+
+// Answer is one certain-answer tuple as handed to an AnswerEach consumer.
+type Answer = storage.Tuple
+
+// AnswerEach streams the certain answers to yield, one tuple at a time, as
+// the executor produces them — the first answers reach the consumer while
+// the join is still enumerating, and returning false from yield stops the
+// iterator tree immediately. Options.Limit bounds the stream the same way.
+// Every phase before the stream (rewriting, a cold materialization build)
+// honors ctx exactly as AnswerCtx does, and the stream itself is abandoned
+// promptly when ctx is canceled mid-enumeration, returning the context
+// error. Streaming is sequential by construction (the prefix is
+// deterministic); Options.Parallelism is ignored. The tuples passed to yield
+// are freshly allocated — the consumer owns them. AnswerCtx is a collector
+// over this same pipeline.
+func (o *Ontology) AnswerEach(ctx context.Context, querySrc string, opts Options, yield func(Answer) bool) error {
+	q, err := ParseQuery(querySrc)
+	if err != nil {
+		return err
+	}
+	u, ins, published, err := o.resolveAnswer(ctx, q, opts)
+	if err != nil {
+		return err
+	}
+	evalOpts := opts.evalOptions()
+	var plans []*eval.Plan
+	if published {
+		plans = o.compiledPlans(u, ins, evalOpts.Planner, evalOpts.Join)
+	} else {
+		plans = eval.CompileUCQ(u, ins, evalOpts.Planner, evalOpts.Join)
+	}
+	return eval.Each(ctx, plans, ins, evalOpts, yield)
+}
+
+// resolveAnswer resolves the answering mode and produces the evaluation
+// input shared by the collecting (AnswerCtx) and streaming (AnswerEach)
+// paths: the UCQ to run and the immutable instance to run it over — the
+// rewriting over the published base snapshot, or the query itself over the
+// (built-on-demand) materialization. The returned flag reports whether the
+// instance is a published snapshot, i.e. safe to key compiled-plan cache
+// entries to.
+func (o *Ontology) resolveAnswer(ctx context.Context, q *query.CQ, opts Options) (*query.UCQ, *storage.Instance, bool, error) {
 	mode := opts.Mode
 	auto := mode == ModeAuto
 	if auto {
@@ -1208,48 +1322,50 @@ func (o *Ontology) AnswerCtx(ctx context.Context, querySrc string, opts Options)
 			mode = ModeChase
 		}
 	}
-	evalOpts := eval.Options{FilterNulls: true, Parallelism: opts.Parallelism, Planner: opts.Planner}
 	switch mode {
 	case ModeRewrite:
 		rw := o.rewriteCQCtx(ctx, q, opts.MaxRewriteCQs)
 		if rwErr := rw.Stats.Err; rwErr != nil {
-			return nil, rwErr // canceled mid-rewriting; not a budget miss
+			return nil, nil, false, rwErr // canceled mid-rewriting; not a budget miss
 		}
 		if !rw.Complete {
 			if auto {
 				// ModeAuto promised an answer, not a technique: when the
 				// rewriting hits its budget, fall back to materialization
 				// instead of surfacing the rewriting error.
-				return o.answerChase(ctx, q, opts, evalOpts)
+				return o.chaseForAnswer(ctx, q, opts)
 			}
-			return nil, fmt.Errorf("repro: rewriting did not reach a fixpoint (budget hit); use ModeChase")
+			return nil, nil, false, fmt.Errorf("repro: rewriting did not reach a fixpoint (budget hit); use ModeChase")
 		}
 		// Evaluate over the published base snapshot with no lock held: a
 		// slow evaluation neither blocks writers nor queues other readers
 		// behind them. Repeated queries rewrite to the same UCQ, so the
 		// compiled plans come from the cache.
-		return o.evalUCQCtx(ctx, rw.UCQ, o.snapshotBase(), evalOpts)
+		return rw.UCQ, o.snapshotBase(), true, nil
 	case ModeChase:
-		return o.answerChase(ctx, q, opts, evalOpts)
+		return o.chaseForAnswer(ctx, q, opts)
 	default:
-		return nil, fmt.Errorf("repro: unknown answer mode %d", mode)
+		return nil, nil, false, fmt.Errorf("repro: unknown answer mode %d", mode)
 	}
 }
 
-// answerChase evaluates q over the published materialization, building or
-// rebuilding it when absent or unusable for the requested budgets. The fast
-// path is lock-free: the published pointer is loaded once and the query
-// evaluates over the immutable instance, so a slow evaluation neither
-// blocks writers nor queues other readers behind them. Builds run under wmu
-// (single-flight, serialized with writers — so the base cannot change
-// underneath) and always serve their own result, so a build is never wasted
-// and nothing can starve.
-func (o *Ontology) answerChase(ctx context.Context, q *query.CQ, opts Options, evalOpts eval.Options) (*Answers, error) {
+// chaseForAnswer returns the materialized instance chase-mode answering
+// evaluates over, building or rebuilding it when absent or unusable for the
+// requested budgets. The fast path is lock-free: the published pointer is
+// loaded once and the query evaluates over the immutable instance, so a slow
+// evaluation neither blocks writers nor queues other readers behind them.
+// Builds run under wmu (single-flight, serialized with writers — so the base
+// cannot change underneath) and always serve their own result, so a build is
+// never wasted and nothing can starve.
+func (o *Ontology) chaseForAnswer(ctx context.Context, q *query.CQ, opts Options) (*query.UCQ, *storage.Instance, bool, error) {
 	copts := opts.chaseOptions()
 	u := query.MustNewUCQ(q)
 
-	if ans, err, ok := o.answerFromMat(ctx, u, copts, evalOpts); ok {
-		return ans, err
+	if m := o.mat.Load(); m != nil && m.usable(copts, o.data.Mutations()) {
+		if !m.terminated {
+			return nil, nil, false, budgetErr(m.lastSteps)
+		}
+		return u, m.ins, true, nil
 	}
 
 	o.wmu.Lock()
@@ -1257,9 +1373,9 @@ func (o *Ontology) answerChase(ctx context.Context, q *query.CQ, opts Options, e
 		// Built while we queued; evaluate after releasing the lock.
 		o.wmu.Unlock()
 		if !m.terminated {
-			return nil, budgetErr(m.lastSteps)
+			return nil, nil, false, budgetErr(m.lastSteps)
 		}
-		return o.evalUCQCtx(ctx, u, m.ins, evalOpts)
+		return u, m.ins, true, nil
 	}
 	o.mu.RLock()
 	ins := o.data.Clone()
@@ -1276,7 +1392,7 @@ func (o *Ontology) answerChase(ctx context.Context, q *query.CQ, opts Options, e
 		// simply discarded — nothing was published, every snapshot is as it
 		// was before the call.
 		o.wmu.Unlock()
-		return nil, res.Err
+		return nil, nil, false, res.Err
 	}
 	// Publish unless the data was mutated out-of-band while we chased (a
 	// legitimate writer cannot have: we hold wmu). Either way, serve our own
@@ -1287,29 +1403,9 @@ func (o *Ontology) answerChase(ctx context.Context, q *query.CQ, opts Options, e
 	}
 	o.wmu.Unlock()
 	if !res.Terminated {
-		return nil, budgetErr(res.Steps)
+		return nil, nil, false, budgetErr(res.Steps)
 	}
-	if !published {
-		// The instance was never published, so no later query can hit a cache
-		// entry pinning it; compile directly instead of polluting the cache.
-		return eval.RunPlansCtx(ctx, eval.CompileUCQ(u, ins, evalOpts.Planner), u.Arity(), ins, evalOpts)
-	}
-	return o.evalUCQCtx(ctx, u, ins, evalOpts)
-}
-
-// answerFromMat serves the query from the published materialization when it
-// is usable for these budgets; evaluation runs with no lock held. The third
-// return value reports whether the cache could serve the request at all.
-func (o *Ontology) answerFromMat(ctx context.Context, u *query.UCQ, copts chase.Options, evalOpts eval.Options) (*Answers, error, bool) {
-	m := o.mat.Load()
-	if m == nil || !m.usable(copts, o.data.Mutations()) {
-		return nil, nil, false
-	}
-	if !m.terminated {
-		return nil, budgetErr(m.lastSteps), true
-	}
-	ans, err := o.evalUCQCtx(ctx, u, m.ins, evalOpts)
-	return ans, err, true
+	return u, ins, published, nil
 }
 
 func budgetErr(steps int) error {
@@ -1341,6 +1437,13 @@ type MaterializationStats struct {
 	// generational compaction sweep. Compactions counts completed sweeps.
 	// All three are frozen at publish time, like the step counters.
 	ProvDerivations, ProvDeadDerivations, Compactions int
+	// FullRebuilds counts every time a published materialization was dropped
+	// and the next chase-mode answer had to rebuild from scratch — e.g. a
+	// RemoveRule against a cache built without provenance, a repair on a
+	// truncated cache, a canceled mutation's rollback, or an out-of-band
+	// Data() mutation. A growing counter on a serving process is the signal
+	// that incremental maintenance is being bypassed.
+	FullRebuilds uint64
 }
 
 // MaterializationStats reports the state of the published materialization.
@@ -1350,7 +1453,7 @@ type MaterializationStats struct {
 func (o *Ontology) MaterializationStats() MaterializationStats {
 	m := o.mat.Load()
 	if m == nil {
-		return MaterializationStats{Epoch: o.epoch.Load()}
+		return MaterializationStats{Epoch: o.epoch.Load(), FullRebuilds: o.fullRebuilds.Load()}
 	}
 	return MaterializationStats{
 		Cached:              true,
@@ -1365,6 +1468,7 @@ func (o *Ontology) MaterializationStats() MaterializationStats {
 		ProvDerivations:     m.provDerivs,
 		ProvDeadDerivations: m.provDead,
 		Compactions:         m.compactions,
+		FullRebuilds:        o.fullRebuilds.Load(),
 	}
 }
 

@@ -8,6 +8,9 @@
 #      must see it),
 #   3. a 1ms-deadline chase query against a deliberately large second
 #      ontology, which must come back 504 without corrupting anything,
+#   4. a streamed NDJSON read (rows flushed as produced, trailing count) and
+#      a ?limit=1 request against the 400-link chain that returns its one
+#      answer well inside a deadline the full materialization would blow,
 # and finally SIGTERMs the server and requires a clean in-flight drain.
 set -euo pipefail
 
@@ -84,7 +87,37 @@ ans=$(curl --fail -sS -X POST "$base/default/query" \
   -d '{"query": "q(X, Y) :- ancestor(X, Y) ."}')
 grep -q '"count":6' <<<"$ans" || { echo "snapshot changed after cancelled request: $ans" >&2; exit 1; }
 
-# 4. Graceful shutdown drains in-flight work and exits zero.
+# 4a. Streaming read: NDJSON rows as they are produced, then a count trailer.
+ndjson=$(curl --fail -sS -X POST "$base/default/query" \
+  -H 'Accept: application/x-ndjson' \
+  -d '{"query": "q(X, Y) :- ancestor(X, Y) ."}')
+echo "ndjson stream:"
+echo "$ndjson"
+rows=$(grep -c '^\[' <<<"$ndjson" || true)
+if [ "$rows" != 6 ]; then
+  echo "expected 6 NDJSON answer rows, got $rows" >&2
+  exit 1
+fi
+grep -q '"count":6' <<<"$ndjson" || { echo "NDJSON trailer missing count: $ndjson" >&2; exit 1; }
+
+# 4b. LIMIT push-down against the 400-link chain: the streaming executor
+# stops after the first tuple, so one answer comes back inside a deadline
+# that the full chase materialization (cf. step 3) blows by orders of
+# magnitude. Rewrite mode keeps evaluation on the base snapshot.
+code=$(curl -sS -o "$workdir/limit.json" -w '%{http_code}' -X POST \
+  "$base/big/query?limit=1&timeout=50ms" \
+  -d '{"query": "q(X, Y) :- parent(X, Y) .", "mode": "rewrite"}')
+echo "limited request: HTTP $code $(cat "$workdir/limit.json")"
+if [ "$code" != 200 ] || ! grep -q '"count":1' "$workdir/limit.json"; then
+  echo "expected one answer inside the 50ms budget, got HTTP $code: $(cat "$workdir/limit.json")" >&2
+  exit 1
+fi
+
+# Stats surface the full-rebuild counter for the serving process.
+stats=$(curl --fail -sS "$base/default/stats")
+grep -q '"fullRebuilds"' <<<"$stats" || { echo "stats missing fullRebuilds: $stats" >&2; exit 1; }
+
+# 5. Graceful shutdown drains in-flight work and exits zero.
 kill -TERM "$pid"
 if ! wait "$pid"; then
   echo "server exited non-zero on SIGTERM" >&2
