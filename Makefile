@@ -50,11 +50,13 @@ bench-json:
 
 # Strategy ablations: run the strategy-sensitive benchmarks once per
 # join-order strategy (PLANNER env, read by TestMain) and once per join
-# execution strategy (JOIN env, same mechanism), comparing each axis through
-# benchstat when it is installed, falling back to the raw outputs.
-# BenchmarkAnswer* compare the planners within a single run and are
-# deliberately excluded here.
+# execution strategy (JOIN env, same mechanism), and the repeated-query
+# benchmarks once per answer-cache setting (CACHE env, same mechanism),
+# comparing each axis through benchstat when it is installed, falling back
+# to the raw outputs. BenchmarkAnswer* compare the planners within a single
+# run and are deliberately excluded from the strategy axes.
 BENCH_COMPARE_PATTERN ?= BenchmarkCQEvaluation|BenchmarkEvaluationOnly|BenchmarkChaseScaling|BenchmarkParallelUCQEvaluation|BenchmarkIncrementalAddFact
+BENCH_CACHE_PATTERN ?= BenchmarkAnswerChase|BenchmarkAnswerRewrite|BenchmarkIncrementalAddFact
 BENCH_COMPARE_COUNT ?= 5
 BENCH_COMPARE_TIME ?= 0.2s
 
@@ -67,14 +69,20 @@ bench-compare:
 		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.join-nested.txt
 	JOIN=hash $(GO) test -run '^$$' -bench '$(BENCH_COMPARE_PATTERN)' \
 		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.join-hash.txt
+	CACHE=off $(GO) test -run '^$$' -bench '$(BENCH_CACHE_PATTERN)' \
+		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.cache-off.txt
+	CACHE=on $(GO) test -run '^$$' -bench '$(BENCH_CACHE_PATTERN)' \
+		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.cache-on.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
 		echo "== planner: greedy vs cost =="; \
 		benchstat bench.greedy.txt bench.cost.txt; \
 		echo "== join: nested vs hash =="; \
 		benchstat bench.join-nested.txt bench.join-hash.txt; \
+		echo "== answer cache: off vs on =="; \
+		benchstat bench.cache-off.txt bench.cache-on.txt; \
 	else \
 		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest);"; \
-		echo "raw outputs in bench.{greedy,cost,join-nested,join-hash}.txt"; \
+		echo "raw outputs in bench.{greedy,cost,join-nested,join-hash,cache-off,cache-on}.txt"; \
 	fi
 
 # CPU + heap profile of the steady-state answering path (warm snapshot and

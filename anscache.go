@@ -1,0 +1,265 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/logic"
+	"repro/internal/query"
+	"repro/internal/rescache"
+	"repro/internal/storage"
+)
+
+// DefaultAnswerCacheBytes is the answer-view cache budget the server and
+// the CLIs enable by default (their -cache flag). The library default is
+// off — SetAnswerCacheBudget opts an Ontology in.
+const DefaultAnswerCacheBytes = 32 << 20
+
+// defaultAnswerCacheBudget seeds the budget of newly constructed
+// ontologies. Zero keeps caching opt-in; the benchmark harness flips it
+// (CACHE env, read by TestMain) to measure the cache axis across the
+// existing repeated-query benchmarks without touching their call sites.
+var defaultAnswerCacheBudget int64
+
+// SetAnswerCacheBudget sets the answer-view cache byte budget. n <= 0
+// disables the cache and drops any cached views; a positive budget bounds
+// the estimated bytes of cached answer sets (least-recently-used views are
+// evicted past it). Safe to call concurrently with answering.
+func (o *Ontology) SetAnswerCacheBudget(n int64) {
+	o.ansBudget.Store(n)
+	if n <= 0 {
+		o.ansCache.Store(nil)
+	}
+}
+
+// AnswerCacheStats counts answer-view cache activity since the Ontology
+// was built. Entries and Bytes describe the live generation only — views
+// orphaned by a mutation stop counting even before they are reclaimed.
+type AnswerCacheStats struct {
+	Hits            uint64
+	Misses          uint64
+	Evictions       uint64
+	DeltaMaintained uint64
+	Entries         int
+	Bytes           int64
+}
+
+// AnswerCacheStats reports the answer-view cache counters. Lock-free.
+func (o *Ontology) AnswerCacheStats() AnswerCacheStats {
+	pe := o.planEpoch.Load()
+	re := o.rulesEpoch.Load()
+	c := o.ansCache.Load()
+	st := AnswerCacheStats{
+		Hits:            o.ansStats.Hits.Load(),
+		Misses:          o.ansStats.Misses.Load(),
+		Evictions:       o.ansStats.Evictions.Load(),
+		DeltaMaintained: o.ansStats.DeltaMaintained.Load(),
+	}
+	st.Entries, st.Bytes = c.Usage(rescache.Gen{Epoch: pe, RulesEpoch: re})
+	return st
+}
+
+// answerViewKey canonicalizes one answering request: the input query in
+// renaming- and body-order-invariant form plus every option that can
+// change the answer set. Parallelism is excluded (any value yields the
+// same answers) and Limit is handled by the caller — only complete result
+// sets are cached, and a limited request replays a prefix of one.
+func answerViewKey(q *query.CQ, opts Options) string {
+	var b strings.Builder
+	b.WriteByte('0' + byte(opts.Mode))
+	b.WriteByte('0' + byte(opts.Planner.Effective()))
+	b.WriteByte('0' + byte(opts.Join.Effective()))
+	fmt.Fprintf(&b, "|%d|%d|%d|", opts.MaxSteps, opts.MaxRounds, opts.MaxRewriteCQs)
+	b.WriteString(q.DedupKey())
+	return b.String()
+}
+
+// AnswerCacheKey returns the canonical cache key this query answers under
+// — the handle the server's pace-car flights deduplicate concurrent
+// streams on. Two requests share a key exactly when they are guaranteed
+// the same complete answer set (Limit and Parallelism are excluded).
+func (o *Ontology) AnswerCacheKey(querySrc string, opts Options) (string, error) {
+	q, err := ParseQuery(querySrc)
+	if err != nil {
+		return "", err
+	}
+	return answerViewKey(q, opts), nil
+}
+
+// CacheGeneration returns the (snapshot, rules, data) generation triple:
+// it changes whenever a mutation could have changed some query's answers.
+// The server joins it into pace-car flight keys so a request arriving
+// after a mutation opens a fresh flight instead of replaying a stale one.
+func (o *Ontology) CacheGeneration() (epoch, rulesEpoch, dataMut uint64) {
+	return o.planEpoch.Load(), o.rulesEpoch.Load(), o.data.Mutations()
+}
+
+// lookupAnswerView is the lock-free read path of the answer-view cache:
+// load the epochs, load the cache, reject on generation or data-mutation
+// mismatch. Returns the cached set (nil on miss) and the key a completed
+// evaluation should be stored under ("" when this call is not cacheable:
+// cache disabled, NoCache, or a partial Limit result).
+func (o *Ontology) lookupAnswerView(q *query.CQ, opts Options) (*Answers, string) {
+	if opts.NoCache || opts.Limit != 0 || o.ansBudget.Load() <= 0 {
+		return nil, ""
+	}
+	pe := o.planEpoch.Load()
+	re := o.rulesEpoch.Load()
+	c := o.ansCache.Load()
+	key := answerViewKey(q, opts)
+	ans := c.Lookup(key, rescache.Gen{Epoch: pe, RulesEpoch: re}, o.data.Mutations(), &o.ansStats)
+	return ans, key
+}
+
+// storeAnswerView publishes a completed answer set as a cached view. It
+// runs after a miss — the caller already paid full evaluation — so it may
+// coordinate with writers: under a TryLock of wmu the published snapshots
+// are frozen, and the store proceeds only if ins is still the currently
+// published instance and the data is unmutated, so a result computed over
+// a just-retired snapshot is never published under the live generation.
+// When a writer holds wmu the store is skipped outright: the mutation in
+// flight would invalidate the entry anyway. The answering read path never
+// takes a lock; only this post-miss fill does, and only opportunistically.
+func (o *Ontology) storeAnswerView(key string, u *query.UCQ, ins *storage.Instance, ans *Answers, planner eval.Planner, join eval.JoinStrategy) {
+	budget := o.ansBudget.Load()
+	if budget <= 0 || !o.wmu.TryLock() {
+		return
+	}
+	defer o.wmu.Unlock()
+	dataMut := o.data.Mutations()
+	current := false
+	if m := o.mat.Load(); m != nil && m.ins == ins && m.baseMut == dataMut {
+		current = true
+	} else if s := o.base.Load(); s != nil && s.ins == ins && s.baseMut == dataMut {
+		current = true
+	}
+	if !current {
+		return
+	}
+	pe := o.planEpoch.Load()
+	re := o.rulesEpoch.Load()
+	c := o.ansCache.Load()
+	gen := rescache.Gen{Epoch: pe, RulesEpoch: re}
+	e := rescache.NewEntry(ans, u, ins, dataMut, planner.Effective(), join.Effective())
+	o.ansCache.Store(c.WithEntry(gen, budget, key, e, &o.ansStats))
+}
+
+// maintainAnswerViews carries cached answer views across a committed
+// insert-only mutation: each view pinned to a pre-mutation snapshot is
+// joined against the inserted delta through its seeded plans and
+// republished under the post-mutation generation (rescache.MaintainInsert)
+// — CQ answers are monotone under inserts, so merging the delta answers
+// is exact. Views whose snapshot was not republished (or republished
+// truncated) are dropped instead. Runs in mutate's publish phase under
+// o.wmu, after every epoch bump and snapshot store.
+func (o *Ontology) maintainAnswerViews(added []logic.Atom, oldMat *materialization, oldBase *baseSnapshot, dataMut uint64) {
+	c := o.ansCache.Load()
+	pe := o.planEpoch.Load()
+	re := o.rulesEpoch.Load()
+	if c == nil {
+		return
+	}
+	in := rescache.MaintainInput{
+		Added:   added,
+		DataMut: dataMut,
+		Budget:  o.ansBudget.Load(),
+	}
+	if oldMat != nil {
+		if m := o.mat.Load(); m != nil && m.terminated {
+			in.OldMat, in.NewMat = oldMat.ins, m.ins
+		}
+	}
+	if oldBase != nil {
+		if s := o.base.Load(); s != nil {
+			in.OldBase, in.NewBase = oldBase.ins, s.ins
+		}
+	}
+	o.ansCache.Store(c.MaintainInsert(rescache.Gen{Epoch: pe, RulesEpoch: re}, in, &o.ansStats))
+}
+
+// AnswerStream is a resumable certain-answer iterator: the pull-based
+// counterpart of AnswerEach, built for consumers that park between rows —
+// the server's pace-car flights drive one shared stream for N concurrent
+// requests. A stream over a cached view replays it without evaluating;
+// a stream that evaluates to completion (no Limit, never canceled) stores
+// its result as a view for the next caller. Not safe for concurrent use.
+type AnswerStream struct {
+	replay bool
+	view   []storage.Tuple
+	i      int
+	limit  int
+
+	s       *eval.Stream
+	o       *Ontology
+	key     string
+	u       *query.UCQ
+	ins     *storage.Instance
+	collect *eval.Answers
+	planner eval.Planner
+	join    eval.JoinStrategy
+}
+
+// AnswerStream resolves the query exactly as AnswerEach does and returns
+// the iterator. Resolution (rewriting, a cold materialization build)
+// honors ctx; each Next call arms its own context. Streaming is
+// sequential by construction; Options.Parallelism is ignored.
+func (o *Ontology) AnswerStream(ctx context.Context, querySrc string, opts Options) (*AnswerStream, error) {
+	q, err := ParseQuery(querySrc)
+	if err != nil {
+		return nil, err
+	}
+	view, key := o.lookupAnswerView(q, opts)
+	if view != nil {
+		return &AnswerStream{replay: true, view: view.Tuples(), limit: opts.Limit}, nil
+	}
+	u, ins, published, err := o.resolveAnswer(ctx, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	evalOpts := opts.evalOptions()
+	var plans []*eval.Plan
+	if published {
+		plans = o.compiledPlans(u, ins, evalOpts.Planner, evalOpts.Join)
+	} else {
+		plans = eval.CompileUCQ(u, ins, evalOpts.Planner, evalOpts.Join)
+	}
+	s := &AnswerStream{s: eval.NewStream(plans, ins, evalOpts), limit: opts.Limit}
+	if key != "" && published {
+		s.o, s.key, s.u, s.ins = o, key, u, ins
+		s.collect = eval.NewAnswers(u.Arity())
+		s.planner, s.join = evalOpts.Planner, evalOpts.Join
+	}
+	return s, nil
+}
+
+// Next returns the next answer, or ok=false on exhaustion. The tuple is
+// freshly allocated — the caller owns it. A canceled Next kills the
+// underlying evaluation permanently; see eval.Stream.Next.
+func (s *AnswerStream) Next(ctx context.Context) (Answer, bool, error) {
+	if s.replay {
+		if s.i >= len(s.view) || (s.limit > 0 && s.i >= s.limit) {
+			return nil, false, nil
+		}
+		t := s.view[s.i].Clone()
+		s.i++
+		return t, true, nil
+	}
+	t, ok, err := s.s.Next(ctx)
+	if err != nil {
+		s.collect = nil // incomplete: never publish as a view
+		return nil, false, err
+	}
+	if !ok {
+		if s.collect != nil {
+			s.o.storeAnswerView(s.key, s.u, s.ins, s.collect, s.planner, s.join)
+			s.collect = nil
+		}
+		return nil, false, nil
+	}
+	if s.collect != nil {
+		s.collect.Add(t) // copy; the caller owns t
+	}
+	return t, true, nil
+}

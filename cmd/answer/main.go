@@ -40,6 +40,7 @@ func main() {
 	incremental := flag.Bool("incremental", true, "with -add/-delete/-add-rule/-drop-rule: maintain the published materialization incrementally (false = rebuild the ontology from scratch)")
 	shared := cliflags.Bind(flag.CommandLine)
 	shared.BindLimit(flag.CommandLine)
+	shared.BindCache(flag.CommandLine, 0)
 	flag.Parse()
 	if *rulesPath == "" || *querySrc == "" {
 		fmt.Fprintln(os.Stderr, "usage: answer -rules FILE [-data FILE] -query 'q(X) :- ... .' [-mode M] [-timeout D] [-add 'f(a) .']")
@@ -57,6 +58,7 @@ func main() {
 	defer cancel()
 
 	ont := load(*rulesPath, *dataPath)
+	ont.SetAnswerCacheBudget(shared.CacheBytes)
 	ans, err := ont.AnswerCtx(ctx, *querySrc, opts)
 	if err != nil {
 		cliflags.Fatal(err)
@@ -77,6 +79,7 @@ func main() {
 		// base data; rule mutations on it just swap the set, with no
 		// materialization to repair).
 		ont = load(*rulesPath, *dataPath)
+		ont.SetAnswerCacheBudget(shared.CacheBytes)
 	}
 	if *add != "" {
 		if err := ont.AddFactCtx(ctx, *add); err != nil {

@@ -46,17 +46,27 @@ func main() {
 	dataPath := flag.String("data", "", "optional .data file loaded with -rules")
 	defaultTimeout := flag.Duration("default-timeout", 5*time.Second, "deadline for requests without ?timeout= (0 = none)")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "upper clamp on any request deadline (0 = unclamped)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "cap on requests executing at once (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "requests allowed to wait for a slot before shedding with 429 (with -max-concurrent)")
 	shared := cliflags.Bind(flag.CommandLine)
+	shared.BindCache(flag.CommandLine, repro.DefaultAnswerCacheBytes)
 	flag.Parse()
 
 	opts, err := shared.Options(repro.ModeAuto)
 	if err != nil {
 		cliflags.Fatal(err)
 	}
+	cacheBytes := shared.CacheBytes
+	if cacheBytes <= 0 {
+		cacheBytes = -1 // Config: negative disables, zero means the default
+	}
 	srv := server.New(server.Config{
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-		Answer:         opts,
+		DefaultTimeout:   *defaultTimeout,
+		MaxTimeout:       *maxTimeout,
+		Answer:           opts,
+		AnswerCacheBytes: cacheBytes,
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueue:         *maxQueue,
 	})
 	if *rulesPath != "" {
 		var ont *repro.Ontology

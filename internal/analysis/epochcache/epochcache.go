@@ -1,19 +1,21 @@
 // Package epochcache defines an analyzer guarding the generation discipline
 // of the rules-derived caches on Ontology.
 //
-// Two caches are rebuilt lazily from the current rule set and therefore go
-// stale when rules mutate: the compiled-plan cache (`planCache`, keyed by a
-// (planEpoch, rulesEpoch) generation since PR 5) and the classification
+// Three caches are rebuilt lazily from the current rule set and therefore
+// go stale when rules mutate: the compiled-plan cache (`planCache`, keyed
+// by a (planEpoch, rulesEpoch) generation since PR 5), the classification
 // cache (`class`, a classEntry pinned to the exact *dependency.Set it was
-// computed from). A reader that loads either cache but never loads the
-// generation it must validate against can serve answers computed under a
-// rule set that no longer exists.
+// computed from), and the answer-view cache (`ansCache`, a rescache.Cache
+// generation keyed the same way as planCache since PR 9). A reader that
+// loads any of them but never loads the generation it must validate
+// against can serve answers computed under a rule set that no longer
+// exists.
 //
 // The analyzer is a per-function obligation check on methods and functions
 // over a type named Ontology:
 //
-//   - a function that calls `.planCache.Load()` must also call
-//     `.planEpoch.Load()` and `.rulesEpoch.Load()`;
+//   - a function that calls `.planCache.Load()` or `.ansCache.Load()` must
+//     also call `.planEpoch.Load()` and `.rulesEpoch.Load()`;
 //   - a function that calls `.class.Load()` must also call `.rules.Load()`
 //     (classEntry validation is by rule-set pointer identity).
 //
@@ -29,7 +31,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "epochcache",
-	Doc:  "require readers of rules-derived caches (planCache, class) to load the generation they validate against",
+	Doc:  "require readers of rules-derived caches (planCache, ansCache, class) to load the generation they validate against",
 	Run:  run,
 }
 
@@ -37,6 +39,7 @@ var Analyzer = &analysis.Analyzer{
 // function must also consult.
 var obligations = map[string][]string{
 	"planCache": {"planEpoch", "rulesEpoch"},
+	"ansCache":  {"planEpoch", "rulesEpoch"},
 	"class":     {"rules"},
 }
 

@@ -16,8 +16,13 @@ type ruleSet struct {
 	n int
 }
 
+type ansCacheGen struct {
+	answers int
+}
+
 type Ontology struct {
 	planCache  atomic.Pointer[planCacheEntry]
+	ansCache   atomic.Pointer[ansCacheGen]
 	class      atomic.Pointer[classEntry]
 	rules      atomic.Pointer[ruleSet]
 	planEpoch  atomic.Uint64
@@ -43,4 +48,19 @@ func (o *Ontology) halfValidated() *planCacheEntry {
 // must be compared against.
 func (o *Ontology) staleClass() *classEntry {
 	return o.class.Load() // want "never loads rules"
+}
+
+// staleAnswers serves cached answer views with no generation check at all:
+// a rule mutation or snapshot republication after the load goes unnoticed.
+func (o *Ontology) staleAnswers() *ansCacheGen {
+	return o.ansCache.Load() // want "never loads"
+}
+
+// answersHalfValidated loads the snapshot epoch but not the rules epoch;
+// views computed under dropped rules would be served as current.
+func (o *Ontology) answersHalfValidated() *ansCacheGen {
+	if o.planEpoch.Load() == 0 {
+		return nil
+	}
+	return o.ansCache.Load() // want "never loads rulesEpoch"
 }

@@ -20,8 +20,15 @@ type ruleSet struct {
 	n int
 }
 
+type ansCacheGen struct {
+	planEpoch  uint64
+	rulesEpoch uint64
+	answers    int
+}
+
 type Ontology struct {
 	planCache  atomic.Pointer[planCacheEntry]
+	ansCache   atomic.Pointer[ansCacheGen]
 	class      atomic.Pointer[classEntry]
 	rules      atomic.Pointer[ruleSet]
 	planEpoch  atomic.Uint64
@@ -48,6 +55,17 @@ func (o *Ontology) classify() *classEntry {
 		return e
 	}
 	return &classEntry{rules: rules}
+}
+
+// answerView mirrors the answer-view cache reader: both generations loaded
+// before the cache, the entry accepted only when they match.
+func (o *Ontology) answerView() *ansCacheGen {
+	pe := o.planEpoch.Load()
+	re := o.rulesEpoch.Load()
+	if c := o.ansCache.Load(); c != nil && c.planEpoch == pe && c.rulesEpoch == re {
+		return c
+	}
+	return nil
 }
 
 // writerOnly stores without reading: publication discipline is

@@ -1,0 +1,255 @@
+package rescache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// Source is a resumable answer iterator a flight drives: Next returns the
+// next answer, ok=false on exhaustion, or an error. Ontology.AnswerStream
+// satisfies it.
+type Source interface {
+	Next(ctx context.Context) (storage.Tuple, bool, error)
+}
+
+// FlightStats counts pace-car activity: flights opened, consumers joined,
+// rows produced by drivers and rows served from the shared buffer.
+type FlightStats struct {
+	Flights      atomic.Uint64
+	Joined       atomic.Uint64
+	RowsProduced atomic.Uint64
+	RowsReplayed atomic.Uint64
+}
+
+// Flights deduplicates concurrent streaming evaluations of the same cache
+// key: the first consumer opens a flight, later consumers join it, and all
+// of them replay one shared row buffer. The registry lock is taken only on
+// join and leave — never per row.
+type Flights struct {
+	mu    sync.Mutex
+	m     map[string]*flightRef
+	stats FlightStats
+}
+
+type flightRef struct {
+	f    *flight
+	refs int
+}
+
+// NewFlights returns an empty flight registry.
+func NewFlights() *Flights {
+	return &Flights{m: make(map[string]*flightRef)}
+}
+
+// Stats exposes the registry counters.
+func (g *Flights) Stats() *FlightStats { return &g.stats }
+
+// Do streams the answers for key to yield, sharing evaluation with every
+// concurrent Do of the same key. start opens the underlying iterator; it
+// runs lazily, under the first driving consumer, and a start failure is
+// returned to that consumer alone — the next one retries, so a transient
+// error never poisons the flight. limit > 0 detaches after that many rows.
+// Yield owns the tuple it receives. Returns ctx's error if the consumer
+// gave up waiting, or the source's error once the flight fails.
+func (g *Flights) Do(ctx context.Context, key string, start func(ctx context.Context) (Source, error), limit int, yield func(storage.Tuple) bool) error {
+	g.mu.Lock()
+	ref := g.m[key]
+	if ref == nil {
+		ref = &flightRef{f: newFlight(start)}
+		g.m[key] = ref
+		g.stats.Flights.Add(1)
+	} else {
+		g.stats.Joined.Add(1)
+	}
+	ref.refs++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		ref.refs--
+		if ref.refs == 0 && g.m[key] == ref {
+			delete(g.m, key)
+			ref.f.cancel()
+		}
+		g.mu.Unlock()
+	}()
+	return ref.f.consume(ctx, limit, yield, &g.stats)
+}
+
+// flight is one shared evaluation. Rows are published lock-free: the
+// driver appends to the buffer, stores the slice header, then stores the
+// row count; readers load the count first, then the slice — the atomics
+// order the plain element write before any read of it. driveMu is the
+// driver token: whichever hungry consumer wins TryLock produces the rows
+// it needs, then releases, so a parked follower never blocks a driver and
+// the driver role migrates as consumers come and go.
+type flight struct {
+	start  func(ctx context.Context) (Source, error)
+	fctx   context.Context
+	cancel context.CancelFunc
+
+	driveMu sync.Mutex
+	src     Source
+
+	rows    atomic.Pointer[[]storage.Tuple]
+	n       atomic.Int64
+	done    atomic.Bool
+	failure atomic.Pointer[flightErr]
+	waiters atomic.Int64
+	note    atomic.Pointer[chan struct{}]
+}
+
+type flightErr struct{ err error }
+
+func newFlight(start func(ctx context.Context) (Source, error)) *flight {
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{start: start, fctx: fctx, cancel: cancel}
+	ch := make(chan struct{})
+	f.note.Store(&ch)
+	return f
+}
+
+// err returns the flight's terminal error, if any.
+func (f *flight) err() error {
+	if fe := f.failure.Load(); fe != nil {
+		return fe.err
+	}
+	return nil
+}
+
+// consume replays the shared buffer to yield and, at the frontier, either
+// drives the source (driver token acquired) or parks until pulsed.
+func (f *flight) consume(ctx context.Context, limit int, yield func(storage.Tuple) bool, stats *FlightStats) error {
+	i := 0
+	//repro:allow ctxpoll parks on ctx.Done and drive polls ctx per row
+	for {
+		if limit > 0 && i >= limit {
+			return nil
+		}
+		if n := int(f.n.Load()); i < n {
+			rows := *f.rows.Load()
+			t := rows[i]
+			i++
+			stats.RowsReplayed.Add(1)
+			if !yield(t.Clone()) {
+				return nil
+			}
+			continue
+		}
+		if f.done.Load() {
+			return f.err()
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if f.driveMu.TryLock() {
+			err := f.drive(ctx, i+1, stats)
+			f.driveMu.Unlock()
+			f.pulse()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		f.park(ctx, i)
+	}
+}
+
+// park blocks until the frontier moves past i, the flight ends, or ctx is
+// done. The waiter count gates pulse's channel churn: drivers only swap
+// the notify channel when somebody is actually parked.
+func (f *flight) park(ctx context.Context, i int) {
+	f.waiters.Add(1)
+	defer f.waiters.Add(-1)
+	ch := *f.note.Load()
+	if int(f.n.Load()) > i || f.done.Load() || !f.driveMu.TryLock() {
+		if int(f.n.Load()) > i || f.done.Load() {
+			return
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+		return
+	}
+	// The driver left between our TryLock failure and the channel load;
+	// hand the token straight back and let the caller's loop drive.
+	f.driveMu.Unlock()
+}
+
+// pulse wakes every parked consumer by closing the current notify channel
+// and installing a fresh one. Skipped when nobody is parked.
+func (f *flight) pulse() {
+	if f.waiters.Load() == 0 {
+		return
+	}
+	ch := make(chan struct{})
+	old := f.note.Swap(&ch)
+	close(*old)
+}
+
+// drive produces rows until the buffer holds at least want of them or the
+// source ends. Runs under the driver token. The source is pulled under the
+// flight's own context so one consumer's deadline cannot kill the shared
+// iterator mid-stream (a canceled runner is permanently dead); the driving
+// consumer's ctx is polled between rows so it can abandon the token.
+func (f *flight) drive(ctx context.Context, want int, stats *FlightStats) error {
+	if f.done.Load() {
+		return f.err()
+	}
+	if f.src == nil {
+		src, err := f.start(ctx)
+		if err != nil {
+			return err
+		}
+		f.src = src
+	}
+	for int(f.n.Load()) < want {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t, ok, err := f.src.Next(f.fctx)
+		if err != nil {
+			if f.fctx.Err() == nil {
+				// Deterministic evaluation error: terminal for every
+				// consumer, not just the driver.
+				f.failure.Store(&flightErr{err: err})
+				f.done.Store(true)
+			}
+			return err
+		}
+		if !ok {
+			f.done.Store(true)
+			return nil
+		}
+		f.append(t)
+		stats.RowsProduced.Add(1)
+	}
+	return nil
+}
+
+// append publishes one row: element write, then slice-header store, then
+// count store. Readers loading the count see at least that many valid
+// elements in whichever slice header they load afterwards, because the
+// buffer only grows and published elements are never rewritten.
+func (f *flight) append(t storage.Tuple) {
+	n := int(f.n.Load())
+	var buf []storage.Tuple
+	if p := f.rows.Load(); p != nil {
+		buf = *p
+	}
+	if cap(buf) > n {
+		buf = buf[:n+1]
+		buf[n] = t
+	} else {
+		grown := make([]storage.Tuple, n+1, 2*n+16)
+		copy(grown, buf)
+		grown[n] = t
+		buf = grown
+	}
+	f.rows.Store(&buf)
+	f.n.Store(int64(n + 1))
+	f.pulse()
+}

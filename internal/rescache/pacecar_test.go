@@ -1,0 +1,294 @@
+package rescache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/logic"
+	"repro/internal/storage"
+)
+
+// fakeSource yields rows[0:fail] (fail < 0 = all of rows) with an optional
+// per-row delay, then errors or ends. Each Flights start builds a fresh one,
+// so the test can also count how many evaluations actually ran.
+type fakeSource struct {
+	rows  []storage.Tuple
+	i     int
+	fail  int
+	delay time.Duration
+}
+
+func (s *fakeSource) Next(ctx context.Context) (storage.Tuple, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	if s.fail >= 0 && s.i >= s.fail {
+		return nil, false, errors.New("source failed")
+	}
+	if s.i >= len(s.rows) {
+		return nil, false, nil
+	}
+	t := s.rows[s.i]
+	s.i++
+	return t, true, nil
+}
+
+func testRows(n int) []storage.Tuple {
+	rows := make([]storage.Tuple, n)
+	for i := range rows {
+		rows[i] = storage.Tuple{logic.NewConst(fmt.Sprintf("c%04d", i))}
+	}
+	return rows
+}
+
+func rowsEqual(a, b []storage.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFlightsShareOneEvaluation runs many concurrent consumers of one key
+// and asserts they all see the leader's exact stream while only one source
+// is ever started.
+func TestFlightsShareOneEvaluation(t *testing.T) {
+	rows := testRows(200)
+	g := NewFlights()
+	var starts sync.Map
+	started := 0
+	var mu sync.Mutex
+	start := func(ctx context.Context) (Source, error) {
+		mu.Lock()
+		started++
+		mu.Unlock()
+		return &fakeSource{rows: rows, fail: -1, delay: 50 * time.Microsecond}, nil
+	}
+
+	const consumers = 8
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var got []storage.Tuple
+			err := g.Do(context.Background(), "k", start, 0, func(tp storage.Tuple) bool {
+				got = append(got, tp)
+				return true
+			})
+			if err != nil {
+				t.Errorf("consumer %d: %v", c, err)
+			}
+			starts.Store(c, got)
+		}(c)
+	}
+	wg.Wait()
+
+	for c := 0; c < consumers; c++ {
+		v, _ := starts.Load(c)
+		if got := v.([]storage.Tuple); !rowsEqual(got, rows) {
+			t.Fatalf("consumer %d saw %d rows, want the leader's %d in order", c, len(got), len(rows))
+		}
+	}
+	if started != 1 {
+		t.Errorf("started %d sources for one key, want 1", started)
+	}
+	st := g.Stats()
+	if st.Flights.Load() != 1 || st.Joined.Load() != consumers-1 {
+		t.Errorf("flights=%d joined=%d, want 1 and %d", st.Flights.Load(), st.Joined.Load(), consumers-1)
+	}
+	if st.RowsProduced.Load() != uint64(len(rows)) {
+		t.Errorf("rowsProduced=%d, want %d", st.RowsProduced.Load(), len(rows))
+	}
+	if st.RowsReplayed.Load() != uint64(consumers*len(rows)) {
+		t.Errorf("rowsReplayed=%d, want %d", st.RowsReplayed.Load(), consumers*len(rows))
+	}
+}
+
+// TestFlightsLimitIsPrefix asserts a limit-k consumer receives exactly the
+// first k rows of the shared stream and detaches without disturbing an
+// unlimited consumer on the same flight.
+func TestFlightsLimitIsPrefix(t *testing.T) {
+	rows := testRows(100)
+	g := NewFlights()
+	start := func(ctx context.Context) (Source, error) {
+		return &fakeSource{rows: rows, fail: -1, delay: 20 * time.Microsecond}, nil
+	}
+
+	var wg sync.WaitGroup
+	var full, limited []storage.Tuple
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := g.Do(context.Background(), "k", start, 0, func(tp storage.Tuple) bool {
+			full = append(full, tp)
+			return true
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if err := g.Do(context.Background(), "k", start, 7, func(tp storage.Tuple) bool {
+			limited = append(limited, tp)
+			return true
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+
+	if !rowsEqual(full, rows) {
+		t.Fatalf("unlimited consumer saw %d rows, want %d", len(full), len(rows))
+	}
+	if !rowsEqual(limited, rows[:7]) {
+		t.Fatalf("limit-7 consumer saw %d rows, want the 7-row prefix", len(limited))
+	}
+}
+
+// TestFlightsErrorIsTerminal asserts a deterministic evaluation error
+// reaches every consumer of the flight, after the successfully produced
+// prefix.
+func TestFlightsErrorIsTerminal(t *testing.T) {
+	rows := testRows(50)
+	g := NewFlights()
+	start := func(ctx context.Context) (Source, error) {
+		return &fakeSource{rows: rows, fail: 10, delay: 20 * time.Microsecond}, nil
+	}
+
+	const consumers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, consumers)
+	got := make([][]storage.Tuple, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = g.Do(context.Background(), "k", start, 0, func(tp storage.Tuple) bool {
+				got[c] = append(got[c], tp)
+				return true
+			})
+		}(c)
+	}
+	wg.Wait()
+
+	for c := 0; c < consumers; c++ {
+		if errs[c] == nil {
+			t.Errorf("consumer %d: nil error, want the source failure", c)
+		}
+		if !rowsEqual(got[c], rows[:10]) {
+			t.Errorf("consumer %d saw %d rows before the failure, want 10", c, len(got[c]))
+		}
+	}
+}
+
+// TestFlightsStartFailureDoesNotPoison asserts a failed start is returned
+// to the consumer that drove it, and the next consumer of the same key
+// retries with a fresh flight.
+func TestFlightsStartFailureDoesNotPoison(t *testing.T) {
+	rows := testRows(5)
+	g := NewFlights()
+	calls := 0
+	start := func(ctx context.Context) (Source, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient")
+		}
+		return &fakeSource{rows: rows, fail: -1}, nil
+	}
+
+	if err := g.Do(context.Background(), "k", start, 0, func(storage.Tuple) bool { return true }); err == nil {
+		t.Fatal("first Do: nil error, want the start failure")
+	}
+	var got []storage.Tuple
+	if err := g.Do(context.Background(), "k", start, 0, func(tp storage.Tuple) bool {
+		got = append(got, tp)
+		return true
+	}); err != nil {
+		t.Fatalf("second Do: %v", err)
+	}
+	if !rowsEqual(got, rows) {
+		t.Fatalf("second Do saw %d rows, want %d", len(got), len(rows))
+	}
+}
+
+// TestFlightsConsumerCancel asserts a consumer whose context expires stops
+// with that error while the rest of the flight finishes the stream.
+func TestFlightsConsumerCancel(t *testing.T) {
+	rows := testRows(300)
+	g := NewFlights()
+	start := func(ctx context.Context) (Source, error) {
+		return &fakeSource{rows: rows, fail: -1, delay: 100 * time.Microsecond}, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var full []storage.Tuple
+	var fullErr, cancelErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		fullErr = g.Do(context.Background(), "k", start, 0, func(tp storage.Tuple) bool {
+			full = append(full, tp)
+			return true
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		n := 0
+		cancelErr = g.Do(ctx, "k", start, 0, func(tp storage.Tuple) bool {
+			n++
+			if n == 5 {
+				cancel()
+			}
+			return true
+		})
+	}()
+	wg.Wait()
+	defer cancel()
+
+	if !errors.Is(cancelErr, context.Canceled) {
+		t.Errorf("canceled consumer returned %v, want context.Canceled", cancelErr)
+	}
+	if fullErr != nil {
+		t.Errorf("surviving consumer: %v", fullErr)
+	}
+	if !rowsEqual(full, rows) {
+		t.Errorf("surviving consumer saw %d rows, want %d", len(full), len(rows))
+	}
+}
+
+// TestFlightsDistinctKeysDistinctFlights asserts keys do not share state.
+func TestFlightsDistinctKeysDistinctFlights(t *testing.T) {
+	g := NewFlights()
+	for i := 0; i < 3; i++ {
+		rows := testRows(4 + i)
+		var got []storage.Tuple
+		err := g.Do(context.Background(), fmt.Sprintf("k%d", i), func(ctx context.Context) (Source, error) {
+			return &fakeSource{rows: rows, fail: -1}, nil
+		}, 0, func(tp storage.Tuple) bool {
+			got = append(got, tp)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rowsEqual(got, rows) {
+			t.Fatalf("key k%d saw %d rows, want %d", i, len(got), len(rows))
+		}
+	}
+	if n := g.Stats().Flights.Load(); n != 3 {
+		t.Errorf("flights=%d, want 3", n)
+	}
+}

@@ -1,0 +1,352 @@
+// Package rescache is the shared answer cache behind Ontology answering:
+// completed, deduplicated answer sets cached per (canonical query, snapshot
+// generation, options key) with a byte-budgeted LRU (level 1), and pace-car
+// flights that let N concurrent streaming consumers of the same query share
+// one driving iterator (level 2, pacecar.go).
+//
+// A Cache value is one immutable generation: readers load it through an
+// atomic.Pointer and validate it against the ontology's planEpoch and
+// rulesEpoch before trusting any entry — the same discipline the plan cache
+// follows, enforced by the epochcache analyzer. Writers publish a fresh
+// Cache value (copy-on-write map) and never mutate a published one, so the
+// answering path stays lock-free. On an insert-only mutation the cache is
+// not dropped: MaintainInsert joins the inserted delta against each view
+// through precompiled seeded plans (eval.CompileDeltaCQ + RunTuple) and
+// republishes the views under the new generation — CQ monotonicity makes
+// this sound, since inserts can only add answers, and every added answer
+// uses at least one delta tuple. Deletions and rule mutations invalidate by
+// generation mismatch instead.
+package rescache
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/eval"
+	"repro/internal/logic"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// Gen identifies the snapshot generation a cache was built against. Epoch
+// is the ontology's planEpoch (bumped at every snapshot publication),
+// RulesEpoch its rule-set epoch; a cache whose Gen differs from the
+// currently loaded epochs is invisible to readers.
+type Gen struct {
+	Epoch      uint64
+	RulesEpoch uint64
+}
+
+// Stats carries the cache counters across generations. Hits/Misses count
+// lookups, Evictions budget-driven removals, DeltaMaintained views carried
+// across an insert-only mutation by delta join rather than dropped. The
+// clock orders entries for LRU eviction without any per-lookup locking.
+type Stats struct {
+	Hits            atomic.Uint64
+	Misses          atomic.Uint64
+	Evictions       atomic.Uint64
+	DeltaMaintained atomic.Uint64
+	clock           atomic.Uint64
+}
+
+// maxDeltaPlans bounds the seeded plans compiled per entry (one per CQ ×
+// body atom). A rewriting with a huge union is cheaper to re-evaluate on
+// the next miss than to maintain, so entries over the cap are dropped on
+// mutation instead of maintained.
+const maxDeltaPlans = 128
+
+// Entry is one cached answer view, pinned to the exact instance snapshot it
+// was evaluated over. Published entries are immutable except for lastUsed
+// (an atomic recency stamp shared across republished copies of the view)
+// and delta (the lazily compiled maintenance plans, touched only under the
+// ontology's writer lock).
+type Entry struct {
+	ans      *eval.Answers
+	u        *query.UCQ
+	ins      *storage.Instance
+	dataMut  uint64
+	planner  eval.Planner
+	join     eval.JoinStrategy
+	bytes    int64
+	delta    []*eval.Plan
+	noDelta  bool
+	lastUsed *atomic.Uint64
+}
+
+// NewEntry builds a cache entry for a completed answer set. u is the
+// resolved UCQ the answers satisfy over ins (the rewriting in rewrite mode,
+// the original query in chase mode); dataMut is the underlying store's
+// mutation counter as of evaluation, re-checked on every lookup to catch
+// out-of-band mutations that bump no epoch.
+func NewEntry(ans *eval.Answers, u *query.UCQ, ins *storage.Instance, dataMut uint64, planner eval.Planner, join eval.JoinStrategy) *Entry {
+	return &Entry{
+		ans:      ans,
+		u:        u,
+		ins:      ins,
+		dataMut:  dataMut,
+		planner:  planner,
+		join:     join,
+		bytes:    estimateBytes(ans),
+		lastUsed: new(atomic.Uint64),
+	}
+}
+
+// estimateBytes approximates the heap footprint of an answer set: tuple
+// headers, term headers and name bytes, plus the dedup-key map.
+func estimateBytes(ans *eval.Answers) int64 {
+	var n int64 = 256
+	for _, t := range ans.Tuples() {
+		n += 96 // slice header + map key + bucket share
+		for _, term := range t {
+			n += 32 + int64(len(term.Name))
+		}
+	}
+	return n
+}
+
+// Cache is one immutable generation of the answer-view cache. The zero
+// value is never used; a nil *Cache behaves as an empty cache on every
+// read-side method.
+type Cache struct {
+	gen   Gen
+	bytes int64
+	m     map[string]*Entry
+}
+
+// Lookup returns the cached answer set for key, or nil. gen must be the
+// planEpoch/rulesEpoch pair the caller loaded before loading the cache
+// pointer, and dataMut the store's current mutation counter: a generation
+// mismatch hides the whole cache, a dataMut mismatch the single entry.
+// Counts a hit or miss on stats and stamps the entry's LRU recency.
+func (c *Cache) Lookup(key string, gen Gen, dataMut uint64, stats *Stats) *eval.Answers {
+	if c == nil || c.gen != gen {
+		stats.Misses.Add(1)
+		return nil
+	}
+	e := c.m[key]
+	if e == nil || e.dataMut != dataMut {
+		stats.Misses.Add(1)
+		return nil
+	}
+	e.lastUsed.Store(stats.clock.Add(1))
+	stats.Hits.Add(1)
+	return e.ans
+}
+
+// Usage reports the live entry count and byte estimate — zero when the
+// cache's generation no longer matches gen (its entries can never be
+// served again).
+func (c *Cache) Usage(gen Gen) (entries int, bytes int64) {
+	if c == nil || c.gen != gen {
+		return 0, 0
+	}
+	return len(c.m), c.bytes
+}
+
+// WithEntry returns a new cache generation containing e under key, evicting
+// least-recently-used entries while the byte estimate exceeds budget. When
+// the receiver is nil or belongs to another generation its entries are
+// unreachable anyway, so the result starts fresh.
+func (c *Cache) WithEntry(gen Gen, budget int64, key string, e *Entry, stats *Stats) *Cache {
+	n := &Cache{gen: gen, m: make(map[string]*Entry)}
+	if c != nil && c.gen == gen {
+		for k, old := range c.m {
+			n.m[k] = old
+			n.bytes += old.bytes
+		}
+		if old := n.m[key]; old != nil {
+			n.bytes -= old.bytes
+		}
+	}
+	// Insertion counts as a use: a fresh entry otherwise carries recency 0
+	// and could lose the eviction sort to entries it was stored to outlive.
+	e.lastUsed.Store(stats.clock.Add(1))
+	n.m[key] = e
+	n.bytes += e.bytes
+	n.evict(budget, stats)
+	return n
+}
+
+// evict removes least-recently-used entries until the byte estimate fits
+// the budget. A single over-budget entry is evicted too: results larger
+// than the whole budget are not worth caching.
+func (c *Cache) evict(budget int64, stats *Stats) {
+	if c.bytes <= budget {
+		return
+	}
+	type aged struct {
+		key  string
+		used uint64
+	}
+	order := make([]aged, 0, len(c.m))
+	for k, e := range c.m {
+		order = append(order, aged{key: k, used: e.lastUsed.Load()})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].used < order[j].used })
+	for _, a := range order {
+		if c.bytes <= budget {
+			break
+		}
+		c.bytes -= c.m[a.key].bytes
+		delete(c.m, a.key)
+		stats.Evictions.Add(1)
+	}
+}
+
+// MaintainInput describes one committed insert-only mutation: the exact
+// instance pointers cached views may be pinned to (old) and their
+// successors (new), plus the inserted base facts. NewMat/NewBase are nil
+// when the corresponding snapshot was not (re)published.
+type MaintainInput struct {
+	OldMat, NewMat   *storage.Instance
+	OldBase, NewBase *storage.Instance
+	Added            []logic.Atom
+	DataMut          uint64
+	Budget           int64
+}
+
+// MaintainInsert republishes the cache under the post-mutation generation
+// gen, carrying each view across the insert by joining the delta through
+// its seeded plans and merging any new answers. Entries pinned to an
+// instance other than OldMat/OldBase (or too wide to maintain cheaply) are
+// dropped; their answers may be stale or their upkeep dearer than a miss.
+// Runs under the ontology's writer lock; the returned cache is freshly
+// allocated and safe to publish with a plain atomic store.
+func (c *Cache) MaintainInsert(gen Gen, in MaintainInput, stats *Stats) *Cache {
+	if c == nil || len(c.m) == 0 {
+		return nil
+	}
+	n := &Cache{gen: gen, m: make(map[string]*Entry, len(c.m))}
+	matDelta := suffixDelta(in.OldMat, in.NewMat)
+	baseDelta := atomsDelta(in.Added)
+	for k, e := range c.m {
+		var next *Entry
+		switch {
+		case in.NewMat != nil && e.ins == in.OldMat:
+			next = e.maintain(in.NewMat, matDelta, in.DataMut, stats)
+		case in.NewBase != nil && e.ins == in.OldBase:
+			next = e.maintain(in.NewBase, baseDelta, in.DataMut, stats)
+		}
+		if next != nil {
+			n.m[k] = next
+			n.bytes += next.bytes
+		}
+	}
+	if len(n.m) == 0 {
+		return nil
+	}
+	n.evict(in.Budget, stats)
+	return n
+}
+
+// maintain carries one view from its pinned instance to newIns given the
+// delta between them, returning the republished entry (nil to drop). When
+// the delta joins produce no fresh answers — the common case — the answer
+// set is shared with the old entry, so upkeep costs only the delta join
+// and a struct copy, never an O(result) rebuild.
+func (e *Entry) maintain(newIns *storage.Instance, delta map[string][]storage.Tuple, dataMut uint64, stats *Stats) *Entry {
+	next := *e
+	next.ins = newIns
+	next.dataMut = dataMut
+	if len(delta) > 0 {
+		if !e.ensureDeltaPlans(newIns) {
+			return nil
+		}
+		next.delta = e.delta
+		var fresh []storage.Tuple
+		eval.EachDelta(e.delta, newIns, delta, func(t storage.Tuple) {
+			if !e.ans.Contains(t) {
+				fresh = append(fresh, t)
+			}
+		})
+		if len(fresh) > 0 {
+			merged := eval.NewAnswers(e.ans.Arity())
+			for _, t := range e.ans.Tuples() {
+				merged.AddOwned(t)
+			}
+			for _, t := range fresh {
+				merged.AddOwned(t)
+			}
+			next.ans = merged
+			next.bytes = estimateBytes(merged)
+		}
+	}
+	stats.DeltaMaintained.Add(1)
+	return &next
+}
+
+// ensureDeltaPlans lazily compiles the seeded maintenance plans — one per
+// (member CQ, body atom) — the first time the view survives a mutation.
+// Called only under the writer lock; the plans are stored on the receiver
+// and shared by every republished copy of the view. Reports false when the
+// union is too wide to maintain under maxDeltaPlans.
+func (e *Entry) ensureDeltaPlans(ins *storage.Instance) bool {
+	if e.noDelta {
+		return false
+	}
+	if e.delta != nil {
+		return true
+	}
+	total := 0
+	for _, q := range e.u.CQs {
+		total += len(q.Body)
+	}
+	if total > maxDeltaPlans {
+		e.noDelta = true
+		return false
+	}
+	plans := make([]*eval.Plan, 0, total)
+	for _, q := range e.u.CQs {
+		for di := range q.Body {
+			plans = append(plans, eval.CompileDeltaCQ(q, di, ins, e.planner, e.join))
+		}
+	}
+	e.delta = plans
+	return true
+}
+
+// suffixDelta computes the per-relation delta between an instance and its
+// copy-on-write extension: relations are append-only under inserts and
+// shared by pointer when untouched, so the delta of a changed relation is
+// exactly the tuple suffix past the old length. Nil when either side is
+// missing.
+func suffixDelta(old, new_ *storage.Instance) map[string][]storage.Tuple {
+	if old == nil || new_ == nil {
+		return nil
+	}
+	var delta map[string][]storage.Tuple
+	for _, pred := range new_.Predicates() {
+		nr := new_.Relation(pred)
+		or := old.Relation(pred)
+		if or == nr {
+			continue
+		}
+		var tail []storage.Tuple
+		switch {
+		case or == nil:
+			tail = nr.Tuples()
+		case nr.Len() > or.Len():
+			tail = nr.Tuples()[or.Len():]
+		}
+		if len(tail) > 0 {
+			if delta == nil {
+				delta = make(map[string][]storage.Tuple)
+			}
+			delta[pred] = tail
+		}
+	}
+	return delta
+}
+
+// atomsDelta groups inserted base facts by predicate as tuples — the delta
+// shape EachDelta consumes for views pinned to the base snapshot.
+func atomsDelta(added []logic.Atom) map[string][]storage.Tuple {
+	if len(added) == 0 {
+		return nil
+	}
+	delta := make(map[string][]storage.Tuple)
+	for _, a := range added {
+		delta[a.Pred] = append(delta[a.Pred], storage.Tuple(a.Args))
+	}
+	return delta
+}

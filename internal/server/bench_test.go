@@ -24,16 +24,21 @@ import (
 // -benchtime 1x (the CI smoke configuration).
 func BenchmarkServing(b *testing.B) {
 	mixes := []struct {
-		name     string
-		writePct int
+		name       string
+		writePct   int
+		cacheBytes int64 // Config.AnswerCacheBytes: negative disables
 	}{
-		{"read", 0},
-		{"mixed-10pct-write", 10},
+		// The repeated-query read mix is where the answer cache pays: every
+		// request after the first is a view hit. The uncached variant pins
+		// the no-cache baseline for comparison.
+		{"read", 0, 0},
+		{"read-uncached", 0, -1},
+		{"mixed-10pct-write", 10, 0},
 	}
 	var uniq atomic.Int64 // unique fact names across all runs
 	for _, mix := range mixes {
 		b.Run(mix.name, func(b *testing.B) {
-			s := New(Config{})
+			s := New(Config{AnswerCacheBytes: mix.cacheBytes})
 			ont := repro.New(datagen.University(), datagen.UniversityData(8, 1))
 			s.Add("uni", ont)
 			ts := httptest.NewServer(s.Handler())

@@ -49,9 +49,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/rescache"
 )
 
 // Config tunes the server.
@@ -65,6 +67,19 @@ type Config struct {
 	// Answer are the default answering options (mode, parallelism, budgets,
 	// planner) applied to query requests; per-request fields override.
 	Answer repro.Options
+	// AnswerCacheBytes is the answer-view cache budget applied to every
+	// ontology registered with the server (Add and PUT alike). 0 means the
+	// library default for serving, repro.DefaultAnswerCacheBytes; negative
+	// disables caching.
+	AnswerCacheBytes int64
+	// MaxConcurrent caps requests executing at once (0 = unlimited).
+	// Requests beyond the cap queue for a slot.
+	MaxConcurrent int
+	// MaxQueue bounds the requests allowed to wait for a slot when
+	// MaxConcurrent is saturated; arrivals past it are shed immediately
+	// with 429 and a Retry-After header. 0 means no queueing: every
+	// request past the concurrency cap is shed.
+	MaxQueue int
 }
 
 // Server is a multi-tenant HTTP front end over live ontologies.
@@ -73,6 +88,18 @@ type Server struct {
 
 	mu      sync.RWMutex
 	tenants map[string]*tenant
+
+	// flights deduplicates concurrent NDJSON streams of the same (tenant,
+	// query, options, generation) key: one driver evaluates, followers
+	// replay its shared buffer (pace-car; see internal/rescache).
+	flights *rescache.Flights
+
+	// sem, queued and shed implement admission control: a semaphore of
+	// MaxConcurrent slots, an atomic count of requests waiting for one,
+	// and the running total of requests shed with 429.
+	sem    chan struct{}
+	queued atomic.Int64
+	shed   atomic.Uint64
 }
 
 // tenant is one named ontology plus its write batcher.
@@ -83,11 +110,30 @@ type tenant struct {
 
 // New creates an empty server.
 func New(cfg Config) *Server {
-	return &Server{cfg: cfg, tenants: make(map[string]*tenant)}
+	s := &Server{cfg: cfg, tenants: make(map[string]*tenant), flights: rescache.NewFlights()}
+	if cfg.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return s
 }
 
-// Add registers an ontology under a name, replacing any previous holder.
+// cacheBudget resolves Config.AnswerCacheBytes (0 = serving default,
+// negative = disabled).
+func (s *Server) cacheBudget() int64 {
+	switch {
+	case s.cfg.AnswerCacheBytes < 0:
+		return 0
+	case s.cfg.AnswerCacheBytes == 0:
+		return repro.DefaultAnswerCacheBytes
+	default:
+		return s.cfg.AnswerCacheBytes
+	}
+}
+
+// Add registers an ontology under a name, replacing any previous holder,
+// and applies the server's answer-cache budget to it.
 func (s *Server) Add(name string, ont *repro.Ontology) {
+	ont.SetAnswerCacheBudget(s.cacheBudget())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tenants[name] = &tenant{ont: ont, batcher: newBatcher(ont)}
@@ -125,7 +171,45 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/ontologies/{name}/rules", s.tenantHandler(s.handleAddRule))
 	mux.HandleFunc("DELETE /v1/ontologies/{name}/rules/{label}", s.tenantHandler(s.handleRemoveRule))
 	mux.HandleFunc("POST /v1/ontologies/{name}/csv/{pred}", s.tenantHandler(s.handleLoadCSV))
-	return mux
+	return s.admit(mux)
+}
+
+// admit is the admission-control middleware: with MaxConcurrent set, a
+// request either takes a semaphore slot immediately, queues for one while
+// fewer than MaxQueue requests are already waiting, or is shed with 429
+// and a Retry-After hint. Health checks bypass admission so a saturated
+// server still reports alive.
+func (s *Server) admit(next http.Handler) http.Handler {
+	if s.sem == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+				s.queued.Add(-1)
+				s.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusTooManyRequests, errors.New("server saturated: concurrency and queue limits reached"))
+				return
+			}
+			select {
+			case s.sem <- struct{}{}:
+				s.queued.Add(-1)
+			case <-r.Context().Done():
+				s.queued.Add(-1)
+				writeErr(w, errStatus(r.Context().Err()), r.Context().Err())
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // tenantHandler resolves {name} and arms the per-request deadline before
@@ -204,6 +288,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) {
 	m := t.ont.MaterializationStats()
+	fs := s.flights.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"rules":           t.ont.Rules().Len(),
 		"baseFacts":       t.ont.Data().Size(),
@@ -212,6 +297,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) 
 		// incremental maintenance is being bypassed (e.g. RemoveRule against
 		// a provenance-less cache forcing silent full rebuilds).
 		"fullRebuilds": m.FullRebuilds,
+		// Answer-view cache counters for this tenant's ontology.
+		"answerCache": m.AnswerCache,
+		// Pace-car streaming and admission counters; server-wide, not
+		// per-tenant — flights and the semaphore are shared.
+		"streamFlights": map[string]any{
+			"flights":      fs.Flights.Load(),
+			"joined":       fs.Joined.Load(),
+			"rowsProduced": fs.RowsProduced.Load(),
+			"rowsReplayed": fs.RowsReplayed.Load(),
+		},
+		"shedRequests": s.shed.Load(),
 	})
 }
 
@@ -232,6 +328,9 @@ type queryRequest struct {
 	// flushed as produced, then a trailing object with the count. The
 	// Accept: application/x-ndjson header has the same effect.
 	Stream bool `json:"stream,omitempty"`
+	// NoCache bypasses the shared answer cache and pace-car flights for
+	// this request: evaluate from scratch, cache nothing.
+	NoCache bool `json:"noCache,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, t *tenant) {
@@ -279,6 +378,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, t *tenant) 
 	if req.Limit > 0 {
 		opts.Limit = req.Limit
 	}
+	if req.NoCache {
+		opts.NoCache = true
+	}
 	if q := r.URL.Query().Get("limit"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 0 {
@@ -288,7 +390,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, t *tenant) 
 		opts.Limit = n
 	}
 	if req.Stream || strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
-		streamQuery(w, r, t, req.Query, opts)
+		s.streamQuery(w, r, t, req.Query, opts)
 		return
 	}
 	ans, err := t.ont.AnswerCtx(r.Context(), req.Query, opts)
@@ -308,7 +410,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, t *tenant) 
 // already on the wire). The header is written lazily so a failure before
 // the first answer still gets a proper error status; after the first row
 // the status is committed and the error can only ride in the trailer.
-func streamQuery(w http.ResponseWriter, r *http.Request, t *tenant, query string, opts repro.Options) {
+//
+// Cacheable requests ride a pace-car flight keyed on (tenant, canonical
+// query+options, cache generation): concurrent identical streams share one
+// driving evaluation and replay its buffer, each under its own limit.
+func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, t *tenant, query string, opts repro.Options) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	flusher, _ := w.(http.Flusher)
@@ -319,7 +425,7 @@ func streamQuery(w http.ResponseWriter, r *http.Request, t *tenant, query string
 		started = true
 	}
 	n := 0
-	err := t.ont.AnswerEach(r.Context(), query, opts, func(a repro.Answer) bool {
+	yield := func(a repro.Answer) bool {
 		if !started {
 			start()
 		}
@@ -335,7 +441,21 @@ func streamQuery(w http.ResponseWriter, r *http.Request, t *tenant, query string
 		}
 		n++
 		return true
-	})
+	}
+	var err error
+	if key, kerr := t.ont.AnswerCacheKey(query, opts); kerr == nil && !opts.NoCache {
+		// Flights of a retired generation drain and die on their own: new
+		// arrivals compute a fresh key and open a fresh flight.
+		pe, re, dm := t.ont.CacheGeneration()
+		fkey := fmt.Sprintf("%s|%d.%d.%d|%s", r.PathValue("name"), pe, re, dm, key)
+		fopts := opts
+		fopts.Limit = 0 // the flight is shared; each consumer applies its own limit
+		err = s.flights.Do(r.Context(), fkey, func(ctx context.Context) (rescache.Source, error) {
+			return t.ont.AnswerStream(ctx, query, fopts)
+		}, opts.Limit, yield)
+	} else {
+		err = t.ont.AnswerEach(r.Context(), query, opts, yield)
+	}
 	if err != nil && !started {
 		writeErr(w, errStatus(err), err)
 		return

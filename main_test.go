@@ -12,9 +12,20 @@ import (
 // execution strategies for the whole suite: `PLANNER=greedy go test -bench
 // ...` and `JOIN=hash go test -bench ...` flip the package defaults, which
 // every evaluation without an explicit Options.Planner/Options.Join
-// inherits. `make bench-compare` runs the suite once per strategy along
-// either axis and benchstats the runs against each other.
+// inherits. `CACHE=on` likewise flips the answer-view cache on for every
+// ontology the suite constructs, so the repeated-query benchmarks measure
+// the cached path without touching their call sites. `make bench-compare`
+// runs the suite once per strategy along either axis and benchstats the
+// runs against each other.
 func TestMain(m *testing.M) {
+	switch s := os.Getenv("CACHE"); s {
+	case "", "off":
+	case "on":
+		defaultAnswerCacheBudget = DefaultAnswerCacheBytes
+	default:
+		fmt.Fprintf(os.Stderr, "unknown CACHE %q (want on | off)\n", s)
+		os.Exit(2)
+	}
 	if s := os.Getenv("PLANNER"); s != "" {
 		p, err := eval.ParsePlanner(s)
 		if err != nil {

@@ -36,6 +36,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/chase"
 	"repro/internal/core"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/parser"
 	"repro/internal/query"
+	"repro/internal/rescache"
 	"repro/internal/rewrite"
 	"repro/internal/sqlgen"
 	"repro/internal/storage"
@@ -136,6 +138,21 @@ type Ontology struct {
 	// same (or α-equivalent) queries hit warm plans and skip the planner.
 	planCache atomic.Pointer[planCache]
 
+	// ansBudget is the answer-view cache byte budget; <= 0 disables the
+	// cache entirely (the library default — servers and CLIs opt in via
+	// their -cache flag and SetAnswerCacheBudget).
+	ansBudget atomic.Int64
+	// ansCache is the published answer-view cache generation: completed
+	// deduplicated answer sets keyed by canonical query + options, valid
+	// only while planEpoch and rulesEpoch still match the generation they
+	// were stored under (readers must load both — enforced by the
+	// epochcache analyzer, like planCache). Insert-only mutations maintain
+	// the views incrementally in mutate's publish phase; every other
+	// mutation invalidates them by generation mismatch.
+	ansCache atomic.Pointer[rescache.Cache]
+	// ansStats carries the answer-cache counters across generations.
+	ansStats rescache.Stats
+
 	// compactEvery and mutCount drive the generational provenance sweep: a
 	// mutation whose count reaches the interval compacts the engine's
 	// derivation graph before publishing. Both are guarded by wmu
@@ -167,6 +184,7 @@ func New(rules *dependency.Set, data *storage.Instance) *Ontology {
 func newOntology(rules *dependency.Set, data *storage.Instance) *Ontology {
 	o := &Ontology{data: data, compactEvery: DefaultCompactEvery}
 	o.rules.Store(rules)
+	o.ansBudget.Store(defaultAnswerCacheBudget)
 	return o
 }
 
@@ -567,6 +585,8 @@ func (o *Ontology) mutate(ctx context.Context, mut mutation) (mutationResult, er
 		o.planEpoch.Add(1) // compiled plans are rules-derived state
 		o.class.Store(nil)
 	}
+	oldMat := o.mat.Load()
+	oldBase := o.base.Load()
 	dataMut := o.data.Mutations()
 	o.updateBaseSnapshot(added, removed, dataMut)
 	o.mutCount++
@@ -582,6 +602,15 @@ func (o *Ontology) mutate(ctx context.Context, mut mutation) (mutationResult, er
 		// provenance): rebuild lazily, and count the formerly silent full
 		// rebuild so MaterializationStats.FullRebuilds surfaces the penalty.
 		o.dropMat()
+	}
+	if newRules == oldRules && len(removed) == 0 {
+		// Insert-only commit: answer views are carried across the delta
+		// instead of dropped (inserts only ever add CQ answers).
+		o.maintainAnswerViews(added, oldMat, oldBase, dataMut)
+	} else {
+		// Deletions and rule mutations already invalidate every view by
+		// generation mismatch; dropping the cache just reclaims it eagerly.
+		o.ansCache.Store(nil)
 	}
 	return res, w.err
 }
@@ -1197,6 +1226,11 @@ type Options struct {
 	// Limit > 0 forces sequential evaluation, whose answer prefix is
 	// deterministic.
 	Limit int
+	// NoCache bypasses the shared answer-view cache for this call: the
+	// query is evaluated from scratch and the result is not stored. The
+	// property tests use it to compare cached against uncached answers on
+	// one ontology.
+	NoCache bool
 }
 
 // chaseOptions maps Options onto a (defaulted) chase configuration.
@@ -1259,6 +1293,10 @@ func (o *Ontology) AnswerCtx(ctx context.Context, querySrc string, opts Options)
 	if err != nil {
 		return nil, err
 	}
+	view, viewKey := o.lookupAnswerView(q, opts)
+	if view != nil {
+		return view, nil
+	}
 	u, ins, published, err := o.resolveAnswer(ctx, q, opts)
 	if err != nil {
 		return nil, err
@@ -1269,7 +1307,11 @@ func (o *Ontology) AnswerCtx(ctx context.Context, querySrc string, opts Options)
 		// entry pinning it; compile directly instead of polluting the cache.
 		return eval.RunPlansCtx(ctx, eval.CompileUCQ(u, ins, evalOpts.Planner, evalOpts.Join), u.Arity(), ins, evalOpts)
 	}
-	return o.evalUCQCtx(ctx, u, ins, evalOpts)
+	ans, err := o.evalUCQCtx(ctx, u, ins, evalOpts)
+	if err == nil && viewKey != "" {
+		o.storeAnswerView(viewKey, u, ins, ans, evalOpts.Planner, evalOpts.Join)
+	}
+	return ans, err
 }
 
 // Answer is one certain-answer tuple as handed to an AnswerEach consumer.
@@ -1312,7 +1354,29 @@ func (o *Ontology) AnswerEach(ctx context.Context, querySrc string, opts Options
 // (built-on-demand) materialization. The returned flag reports whether the
 // instance is a published snapshot, i.e. safe to key compiled-plan cache
 // entries to.
+//
+// Resolution never outlives its deadline. The exit check below covers two
+// gaps the in-build polls cannot: ctx polls inside the chase are amortized,
+// so a whole build can complete between them; and a build that saturates
+// every P can starve the context's timer goroutine, leaving ctx.Err() nil
+// long past the deadline — hence the explicit clock comparison.
 func (o *Ontology) resolveAnswer(ctx context.Context, q *query.CQ, opts Options) (*query.UCQ, *storage.Instance, bool, error) {
+	u, ins, published, err := o.resolveAnswerMode(ctx, q, opts)
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err == nil {
+		if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+			err = context.DeadlineExceeded
+		}
+	}
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return u, ins, published, nil
+}
+
+func (o *Ontology) resolveAnswerMode(ctx context.Context, q *query.CQ, opts Options) (*query.UCQ, *storage.Instance, bool, error) {
 	mode := opts.Mode
 	auto := mode == ModeAuto
 	if auto {
@@ -1444,6 +1508,9 @@ type MaterializationStats struct {
 	// Data() mutation. A growing counter on a serving process is the signal
 	// that incremental maintenance is being bypassed.
 	FullRebuilds uint64
+	// AnswerCache counts shared answer-view cache activity (hits, misses,
+	// evictions, views delta-maintained across inserts, live entry bytes).
+	AnswerCache AnswerCacheStats
 }
 
 // MaterializationStats reports the state of the published materialization.
@@ -1453,7 +1520,11 @@ type MaterializationStats struct {
 func (o *Ontology) MaterializationStats() MaterializationStats {
 	m := o.mat.Load()
 	if m == nil {
-		return MaterializationStats{Epoch: o.epoch.Load(), FullRebuilds: o.fullRebuilds.Load()}
+		return MaterializationStats{
+			Epoch:        o.epoch.Load(),
+			FullRebuilds: o.fullRebuilds.Load(),
+			AnswerCache:  o.AnswerCacheStats(),
+		}
 	}
 	return MaterializationStats{
 		Cached:              true,
@@ -1469,6 +1540,7 @@ func (o *Ontology) MaterializationStats() MaterializationStats {
 		ProvDeadDerivations: m.provDead,
 		Compactions:         m.compactions,
 		FullRebuilds:        o.fullRebuilds.Load(),
+		AnswerCache:         o.AnswerCacheStats(),
 	}
 }
 
