@@ -50,13 +50,16 @@ bench-json:
 
 # Strategy ablations: run the strategy-sensitive benchmarks once per
 # join-order strategy (PLANNER env, read by TestMain) and once per join
-# execution strategy (JOIN env, same mechanism), and the repeated-query
-# benchmarks once per answer-cache setting (CACHE env, same mechanism),
-# comparing each axis through benchstat when it is installed, falling back
-# to the raw outputs. BenchmarkAnswer* compare the planners within a single
-# run and are deliberately excluded from the strategy axes.
+# execution strategy (JOIN env, same mechanism), the repeated-query
+# benchmarks once per answer-cache setting (CACHE env, same mechanism), and
+# the chase-mode benchmarks once per partition layout (PART env, same
+# mechanism), comparing each axis through benchstat when it is installed,
+# falling back to the raw outputs. BenchmarkAnswer* compare the planners
+# within a single run and are deliberately excluded from the strategy axes.
 BENCH_COMPARE_PATTERN ?= BenchmarkCQEvaluation|BenchmarkEvaluationOnly|BenchmarkChaseScaling|BenchmarkParallelUCQEvaluation|BenchmarkIncrementalAddFact
 BENCH_CACHE_PATTERN ?= BenchmarkAnswerChase|BenchmarkAnswerRewrite|BenchmarkIncrementalAddFact
+BENCH_PART_PATTERN ?= BenchmarkAnswerChase|BenchmarkPartitionPruning|BenchmarkIncrementalAddFact
+BENCH_PARTS ?= 4
 BENCH_COMPARE_COUNT ?= 5
 BENCH_COMPARE_TIME ?= 0.2s
 
@@ -73,6 +76,10 @@ bench-compare:
 		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.cache-off.txt
 	CACHE=on $(GO) test -run '^$$' -bench '$(BENCH_CACHE_PATTERN)' \
 		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.cache-on.txt
+	PART=1 $(GO) test -run '^$$' -bench '$(BENCH_PART_PATTERN)' \
+		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.part-1.txt
+	PART=$(BENCH_PARTS) $(GO) test -run '^$$' -bench '$(BENCH_PART_PATTERN)' \
+		-count $(BENCH_COMPARE_COUNT) -benchtime $(BENCH_COMPARE_TIME) . > bench.part-n.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
 		echo "== planner: greedy vs cost =="; \
 		benchstat bench.greedy.txt bench.cost.txt; \
@@ -80,9 +87,11 @@ bench-compare:
 		benchstat bench.join-nested.txt bench.join-hash.txt; \
 		echo "== answer cache: off vs on =="; \
 		benchstat bench.cache-off.txt bench.cache-on.txt; \
+		echo "== partitions: 1 vs $(BENCH_PARTS) =="; \
+		benchstat bench.part-1.txt bench.part-n.txt; \
 	else \
 		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest);"; \
-		echo "raw outputs in bench.{greedy,cost,join-nested,join-hash,cache-off,cache-on}.txt"; \
+		echo "raw outputs in bench.{greedy,cost,join-nested,join-hash,cache-off,cache-on,part-1,part-n}.txt"; \
 	fi
 
 # CPU + heap profile of the steady-state answering path (warm snapshot and

@@ -100,9 +100,12 @@ func (o *Ontology) CacheGeneration() (epoch, rulesEpoch, dataMut uint64) {
 // load the epochs, load the cache, reject on generation or data-mutation
 // mismatch. Returns the cached set (nil on miss) and the key a completed
 // evaluation should be stored under ("" when this call is not cacheable:
-// cache disabled, NoCache, or a partial Limit result).
+// cache disabled, NoCache, a partial Limit result, or a partitioned
+// request — views pin a flat snapshot pointer and are delta-maintained
+// through seeded plans over it, neither of which a PartitionedInstance
+// provides; partitioned answering always evaluates).
 func (o *Ontology) lookupAnswerView(q *query.CQ, opts Options) (*Answers, string) {
-	if opts.NoCache || opts.Limit != 0 || o.ansBudget.Load() <= 0 {
+	if opts.NoCache || opts.Limit != 0 || opts.effectiveParts() > 1 || o.ansBudget.Load() <= 0 {
 		return nil, ""
 	}
 	pe := o.planEpoch.Load()
@@ -128,6 +131,9 @@ func (o *Ontology) storeAnswerView(key string, u *query.UCQ, ins *storage.Instan
 		return
 	}
 	defer o.wmu.Unlock()
+	if ins == nil {
+		return // partitioned evaluations never store views
+	}
 	dataMut := o.data.Mutations()
 	current := false
 	if m := o.mat.Load(); m != nil && m.ins == ins && m.baseMut == dataMut {
@@ -166,8 +172,10 @@ func (o *Ontology) maintainAnswerViews(added []logic.Atom, oldMat *materializati
 		DataMut: dataMut,
 		Budget:  o.ansBudget.Load(),
 	}
-	if oldMat != nil {
-		if m := o.mat.Load(); m != nil && m.terminated {
+	if oldMat != nil && oldMat.ins != nil {
+		// Partitioned materializations publish no flat instance; their views
+		// were never stored, so there is nothing to carry across.
+		if m := o.mat.Load(); m != nil && m.terminated && m.ins != nil {
 			in.OldMat, in.NewMat = oldMat.ins, m.ins
 		}
 	}
@@ -214,11 +222,23 @@ func (o *Ontology) AnswerStream(ctx context.Context, querySrc string, opts Optio
 	if view != nil {
 		return &AnswerStream{replay: true, view: view.Tuples(), limit: opts.Limit}, nil
 	}
-	u, ins, published, err := o.resolveAnswer(ctx, q, opts)
+	u, ins, pins, published, err := o.resolveAnswer(ctx, q, opts)
 	if err != nil {
 		return nil, err
 	}
 	evalOpts := opts.evalOptions()
+	if pins != nil {
+		// Partitioned streaming: partition-pruned cursors, no view store
+		// (lookupAnswerView already returned key == "").
+		evalOpts.Pruned = &o.prunedProbes
+		var plans []*eval.Plan
+		if published {
+			plans = o.compiledPlansParts(u, pins, evalOpts.Planner, evalOpts.Join)
+		} else {
+			plans = eval.CompileUCQParts(u, pins, evalOpts.Planner, evalOpts.Join)
+		}
+		return &AnswerStream{s: eval.NewStreamParts(plans, pins, evalOpts), limit: opts.Limit}, nil
+	}
 	var plans []*eval.Plan
 	if published {
 		plans = o.compiledPlans(u, ins, evalOpts.Planner, evalOpts.Join)

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -26,14 +27,24 @@ type Benchmark struct {
 
 // Baseline is the whole report.
 type Baseline struct {
-	GOOS       string      `json:"goos,omitempty"`
-	GOARCH     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// GOMAXPROCS and NumCPU record the parallelism available on the machine
+	// that produced the baseline (benchjson runs in the same environment as
+	// the bench run it converts), so cross-machine diffs of parallel and
+	// partitioned benchmarks are interpretable.
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"numCPU"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
 func main() {
-	base := Baseline{Benchmarks: []Benchmark{}}
+	base := Baseline{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: []Benchmark{},
+	}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)

@@ -17,11 +17,17 @@
 //   - laundering: `Clone()` and `ExtendClone()` results are fresh.
 //
 // It flags, on tainted values of the snapshot-carrying types
-// (storage.Instance, storage.Relation, dependency.Set):
+// (storage.Instance, storage.PartitionedInstance, storage.Relation,
+// dependency.Set):
 //
 //   - calls to their mutating methods (Insert, InsertAtom, Remove,
-//     MergeShards, LoadCSV);
+//     MergeShards, MergeShardsPart, LoadCSV);
 //   - assignments through their fields (e.g. `set.Rules = ...`).
+//
+// A PartitionedInstance's sub-instances are part of the same published
+// value: taint flows through Part(i), so mutating a sub-instance of a
+// loaded partitioned snapshot is flagged exactly like mutating the flat
+// layout.
 package snapshotmut
 
 import (
@@ -41,8 +47,9 @@ var Analyzer = &analysis.Analyzer{
 // keyed by package name then type name (package-name matching keeps the
 // analyzer honest over both the real packages and fixtures importing them).
 var mutators = map[[2]string]map[string]bool{
-	{"storage", "Instance"}: {"Insert": true, "InsertAtom": true, "Remove": true, "MergeShards": true, "LoadCSV": true},
-	{"storage", "Relation"}: {"Insert": true, "Remove": true},
+	{"storage", "Instance"}:            {"Insert": true, "InsertAtom": true, "Remove": true, "MergeShards": true, "LoadCSV": true},
+	{"storage", "PartitionedInstance"}: {"Insert": true, "InsertAtom": true, "Remove": true, "MergeShardsPart": true},
+	{"storage", "Relation"}:            {"Insert": true, "Remove": true},
 	// dependency.Set mutates only through exported fields (Rules), caught
 	// by the field-write rule; its methods (WithRule, WithoutRule) are
 	// persistent-style and return fresh sets.
@@ -52,6 +59,18 @@ var mutators = map[[2]string]map[string]bool{
 // launderMethods return a freshly owned value even when called on a
 // snapshot; taint does not flow through them.
 var launderMethods = map[string]bool{"Clone": true, "ExtendClone": true}
+
+// snapshotType resolves a type to its mutators key when it is one of the
+// snapshot-carrying types.
+func snapshotType(t types.Type) ([2]string, bool) {
+	n := analysis.NamedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return [2]string{}, false
+	}
+	key := [2]string{n.Obj().Pkg().Name(), n.Obj().Name()}
+	_, ok := mutators[key]
+	return key, ok
+}
 
 func run(pass *analysis.Pass) (any, error) {
 	for _, file := range pass.Files {
@@ -91,6 +110,13 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 				if method == "Load" && analysis.IsNamed(info.TypeOf(recv), "atomic", "Pointer") {
 					return true
 				}
+				// A sub-instance is owned by its PartitionedInstance: if the
+				// partitioned snapshot is tainted, so is every Part(i).
+				if method == "Part" {
+					if _, ok := snapshotType(info.TypeOf(recv)); ok {
+						return exprTainted(recv)
+					}
+				}
 			}
 		case *ast.ParenExpr:
 			return exprTainted(e.X)
@@ -102,16 +128,6 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 			return exprTainted(e.X)
 		}
 		return false
-	}
-
-	snapshotType := func(t types.Type) ([2]string, bool) {
-		n := analysis.NamedOf(t)
-		if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
-			return [2]string{}, false
-		}
-		key := [2]string{n.Obj().Pkg().Name(), n.Obj().Name()}
-		_, ok := mutators[key]
-		return key, ok
 	}
 
 	ast.Inspect(fn.Body, func(n ast.Node) bool {

@@ -14,11 +14,13 @@ import (
 // wrap mimics the engine's materialization struct: a snapshot field hanging
 // off a published pointer.
 type wrap struct {
-	ins *storage.Instance
+	ins  *storage.Instance
+	pins *storage.PartitionedInstance
 }
 
 type holder struct {
 	data  atomic.Pointer[storage.Instance]
+	parts atomic.Pointer[storage.PartitionedInstance]
 	rules atomic.Pointer[dependency.Set]
 	mat   atomic.Pointer[wrap]
 }
@@ -40,4 +42,25 @@ func mutateThroughField(h *holder, a logic.Atom) {
 func mutateRuleSet(h *holder) {
 	set := h.rules.Load()
 	set.Rules = nil // want "write to field Rules of a dependency.Set loaded from an atomic.Pointer"
+}
+
+func mutateLoadedPartitioned(h *holder, a logic.Atom) {
+	pins := h.parts.Load()
+	pins.Insert(a) // want "storage.PartitionedInstance.Insert on a snapshot loaded from an atomic.Pointer"
+}
+
+func mutatePartitionedThroughField(h *holder, a logic.Atom) {
+	m := h.mat.Load()
+	m.pins.Remove(a) // want "storage.PartitionedInstance.Remove on a snapshot"
+}
+
+func mutateSubInstance(h *holder, a logic.Atom) {
+	// Part(i) hands back a sub-instance of the published value, not a copy.
+	h.parts.Load().Part(0).InsertAtom(a) // want "storage.Instance.InsertAtom on a snapshot"
+}
+
+func mutateSubInstanceVar(h *holder, sh *storage.Shard) {
+	pins := h.parts.Load()
+	sub := pins.Part(1)
+	sub.MergeShards(sh) // want "storage.Instance.MergeShards on a snapshot"
 }

@@ -12,11 +12,13 @@ import (
 )
 
 type wrap struct {
-	ins *storage.Instance
+	ins  *storage.Instance
+	pins *storage.PartitionedInstance
 }
 
 type holder struct {
 	data  atomic.Pointer[storage.Instance]
+	parts atomic.Pointer[storage.PartitionedInstance]
 	rules atomic.Pointer[dependency.Set]
 	mat   atomic.Pointer[wrap]
 }
@@ -52,4 +54,26 @@ func readOnly(h *holder, pred string) int {
 func persistentRules(h *holder, i int) (*dependency.Set, error) {
 	set := h.rules.Load()
 	return set.WithoutRule(i)
+}
+
+func extendClonePartitioned(h *holder, a logic.Atom) *storage.PartitionedInstance {
+	pins := h.parts.Load().ExtendClone()
+	pins.Insert(a)
+	return pins
+}
+
+func launderedSubInstance(h *holder, a logic.Atom) {
+	// ExtendClone launders the whole partitioned value: its sub-instances
+	// are freshly owned and free to mutate.
+	pins := h.parts.Load().ExtendClone()
+	pins.Part(0).InsertAtom(a)
+}
+
+func readOnlyPartitioned(h *holder) int {
+	pins := h.parts.Load()
+	total := 0
+	for p := 0; p < pins.NumParts(); p++ {
+		total += pins.Part(p).Size()
+	}
+	return total
 }

@@ -93,6 +93,14 @@ type Options struct {
 	// table) for the compiled rule-body plans (eval.JoinDefault resolves to
 	// eval.DefaultJoin). Any value yields the same chase up to null names.
 	Join eval.JoinStrategy
+	// Partitions hash-partitions the chased instance into P sub-instances
+	// routed on term position PartitionCol (see storage.PartitionedInstance
+	// and the partitioned driver in partition.go); 0 or 1 keeps the single-
+	// instance layout. Any value yields the same certain answers.
+	Partitions int
+	// PartitionCol is the term position facts route on when Partitions > 1
+	// (default 0).
+	PartitionCol int
 }
 
 func (o Options) withDefaults() Options {
@@ -110,8 +118,12 @@ func (o Options) withDefaults() Options {
 
 // Result is the outcome of a chase run (or of one Resume increment).
 type Result struct {
-	// Instance is the (possibly truncated) chase of the input.
+	// Instance is the (possibly truncated) chase of the input. nil for
+	// partitioned runs, which populate Parts instead.
 	Instance *storage.Instance
+	// Parts is the partitioned chase of the input (RunParts and the
+	// partitioned State methods); nil for unpartitioned runs.
+	Parts *storage.PartitionedInstance
 	// Terminated reports whether a fixpoint was reached within budget.
 	// When false the instance is a sound but incomplete approximation.
 	Terminated bool
@@ -129,6 +141,9 @@ type Result struct {
 	Rounds int
 	// NullsCreated counts invented labelled nulls.
 	NullsCreated int
+	// Partition aggregates the partitioned driver's locality counters for
+	// this increment (all zero for unpartitioned runs).
+	Partition PartitionStats
 }
 
 // trigger is one candidate rule application: a rule index, the full-body

@@ -195,16 +195,24 @@ func (st *State) repairable() error {
 	return nil
 }
 
-// overDelete is the closure sweep shared by Delete and DeleteRule: walk
-// consumer edges breadth-first from the already-removed facts in queue,
-// removing everything derived through a removed fact. Dead derivations are
-// marked (and counted for the compaction sweep) so later deletions skip
-// them, and semi-oblivious trigger memory is cleared for every firing that
-// either consumed or produced a removed fact, so re-derivation may re-fire
-// it. Facts still present in base are never removed — a base fact needs no
-// derivation. Returns the full removed queue for the re-derivation sweep;
-// res.OverDeleted counts the facts removed beyond the initial seeds.
-func (st *State) overDelete(ctx context.Context, ins, base *storage.Instance, queue []logic.Atom, removed map[string]bool, res *DeleteResult) []logic.Atom {
+// remover abstracts the store overDelete sweeps facts out of: a plain
+// Instance, or a PartitionedInstance whose Remove routes to the fact's home
+// partition. The closure walk itself is store-layout agnostic.
+type remover interface {
+	Remove(logic.Atom) bool
+}
+
+// overDelete is the closure sweep shared by Delete and DeleteRule (and their
+// partitioned counterparts): walk consumer edges breadth-first from the
+// already-removed facts in queue, removing everything derived through a
+// removed fact. Dead derivations are marked (and counted for the compaction
+// sweep) so later deletions skip them, and semi-oblivious trigger memory is
+// cleared for every firing that either consumed or produced a removed fact,
+// so re-derivation may re-fire it. Facts still present in base are never
+// removed — a base fact needs no derivation. Returns the full removed queue
+// for the re-derivation sweep; res.OverDeleted counts the facts removed
+// beyond the initial seeds.
+func (st *State) overDelete(ctx context.Context, ins remover, base *storage.Instance, queue []logic.Atom, removed map[string]bool, res *DeleteResult) []logic.Atom {
 	for qi := 0; qi < len(queue); qi++ {
 		if qi&0xFF == 0 && ctx.Err() != nil {
 			return queue // canceled: half-swept, caller surfaces the abort

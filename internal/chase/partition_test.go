@@ -1,0 +1,255 @@
+package chase
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dependency"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// TestLocalRuleClassifier pins the locality classifier: a rule is local only
+// when one term rides the partitioning column through every body and head
+// atom.
+func TestLocalRuleClassifier(t *testing.T) {
+	cases := []struct {
+		rule  string
+		col   int
+		local bool
+	}{
+		{`a(X) -> b(X) .`, 0, true},
+		{`a(X,Y) -> b(X,Z) .`, 0, true},          // pivot X at col 0 everywhere
+		{`a(X,Y) -> b(Y,X) .`, 0, false},         // head swaps the pivot away
+		{`a(X,Y), b(X,Z) -> c(X,W) .`, 0, true},  // shared pivot across the join
+		{`a(X,Y), b(Y,Z) -> c(X,Z) .`, 0, false}, // body atoms disagree at col 0
+		{`a(X,Y), b(X,Y) -> c(Z,Y) .`, 1, true},  // pivot Y at col 1 everywhere
+		{`a(X) -> b(X,Y) .`, 1, false},           // a body atom too narrow to route
+		{`a(c0,X) -> b(c0,X) .`, 0, true},        // constant pivot: one fixed partition
+		{`a(c0,X) -> b(c1,X) .`, 0, false},       // constants disagree
+	}
+	for _, tc := range cases {
+		rule := parser.MustParseRules(tc.rule).Rules[0]
+		if got := LocalRule(rule, tc.col); got != tc.local {
+			t.Errorf("LocalRule(%q, col=%d) = %v, want %v", tc.rule, tc.col, got, tc.local)
+		}
+	}
+}
+
+// TestPartitionedChaseMatchesUnpartitioned chases seeded random ontologies
+// with P in {1, 2, 4}, sequential and parallel, both variants. Within budget
+// the partitioned driver fires the same triggers round by round as the plain
+// one, so every counter and the null-free fact set must agree exactly.
+func TestPartitionedChaseMatchesUnpartitioned(t *testing.T) {
+	families := []datagen.Family{
+		datagen.FamilyLinear, datagen.FamilyMultilinear,
+		datagen.FamilySticky, datagen.FamilyChain,
+	}
+	for _, fam := range families {
+		for seed := int64(1); seed <= 3; seed++ {
+			name := fmt.Sprintf("%v/seed=%d", fam, seed)
+			t.Run(name, func(t *testing.T) {
+				rules := datagen.Rules(datagen.Config{Family: fam, Rules: 6, Seed: seed})
+				data := datagen.Instance(rules, 25, 8, seed)
+				for _, variant := range []Variant{Restricted, Oblivious} {
+					opts := Options{Variant: variant, MaxRounds: 30, MaxSteps: 20000}
+					plain := Run(rules, data, opts)
+					for _, p := range []int{1, 2, 4} {
+						for _, par := range []int{1, 4} {
+							popts := opts
+							popts.Partitions = p
+							popts.Parallelism = par
+							pres, err := RunParts(rules, data, popts)
+							if err != nil {
+								t.Fatal(err)
+							}
+							tag := fmt.Sprintf("%v P=%d par=%d", variant, p, par)
+							if plain.Terminated != pres.Terminated {
+								t.Fatalf("%s: Terminated: plain=%v parts=%v", tag, plain.Terminated, pres.Terminated)
+							}
+							if !plain.Terminated {
+								continue // truncation order may differ
+							}
+							if plain.Steps != pres.Steps || plain.Rounds != pres.Rounds || plain.NullsCreated != pres.NullsCreated {
+								t.Errorf("%s: counters differ: plain steps=%d rounds=%d nulls=%d, parts steps=%d rounds=%d nulls=%d",
+									tag, plain.Steps, plain.Rounds, plain.NullsCreated, pres.Steps, pres.Rounds, pres.NullsCreated)
+							}
+							flat, err := pres.Parts.Flatten()
+							if err != nil {
+								t.Fatal(err)
+							}
+							if pf, ff := constFacts(plain.Instance), constFacts(flat); pf != ff {
+								t.Errorf("%s: null-free facts differ:\nplain:\n%s\nparts:\n%s", tag, pf, ff)
+							}
+							if fired := pres.Partition.LocalFirings + pres.Partition.ShippedTriggers; p > 1 && plain.Steps > 0 && fired == 0 {
+								t.Errorf("%s: partition counters all zero despite %d steps", tag, plain.Steps)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPartitionedMutationEqualsScratch is the ontology-evolution property
+// over the partitioned engine: a random interleaving of ExtendRulesParts,
+// DeleteRuleParts, ExtendParts and DeleteParts must leave the same null-free
+// fact set as a from-scratch unpartitioned chase of the final rule set over
+// the surviving base facts.
+func TestPartitionedMutationEqualsScratch(t *testing.T) {
+	families := []datagen.Family{datagen.FamilyLinear, datagen.FamilyChain}
+	for _, fam := range families {
+		for seed := int64(1); seed <= 3; seed++ {
+			for _, variant := range []Variant{Restricted, Oblivious} {
+				for _, par := range []int{1, 4} {
+					name := fmt.Sprintf("%v/seed=%d/%v/par=%d", fam, seed, variant, par)
+					t.Run(name, func(t *testing.T) {
+						full := datagen.Rules(datagen.Config{Family: fam, Rules: 8, Seed: seed})
+						data := datagen.Instance(full, 20, 8, seed)
+						opts := Options{Variant: variant, MaxRounds: 60, MaxSteps: 40000, Parallelism: par, TrackProvenance: true, Partitions: 3}
+
+						cur := dependency.MustNewSet(full.Rules[:5]...)
+						reserve := full.Rules[5:]
+
+						baseAtoms := data.Atoms()
+						rng := rand.New(rand.NewSource(seed * 70001))
+						rng.Shuffle(len(baseAtoms), func(i, j int) { baseAtoms[i], baseAtoms[j] = baseAtoms[j], baseAtoms[i] })
+						cut := 3 * len(baseAtoms) / 4
+						baseIns := storage.MustFromAtoms(baseAtoms[:cut])
+						factReserve := baseAtoms[cut:]
+
+						st := NewState(opts)
+						pins, err := storage.Partition(baseIns, opts.Partitions, opts.PartitionCol)
+						if err != nil {
+							t.Fatal(err)
+						}
+						deltas := make([]*storage.Instance, pins.NumParts())
+						for p := range deltas {
+							deltas[p] = pins.Part(p)
+						}
+						if res := st.ResumeParts(cur, pins, deltas); !res.Terminated {
+							t.Skip("initial chase truncated; nothing exact to compare")
+						}
+
+						for step := 0; step < 16; step++ {
+							switch op := rng.Intn(4); {
+							case op == 0 && len(reserve) > 0: // add a rule
+								next, err := cur.WithRule(reserve[0])
+								if err != nil {
+									t.Fatal(err)
+								}
+								reserve = reserve[1:]
+								if res := st.ExtendRulesParts(next, pins, cur.Len()); !res.Terminated {
+									t.Skip("rule-extension increment truncated")
+								}
+								cur = next
+							case op == 1 && cur.Len() > 1: // drop a rule
+								ri := rng.Intn(cur.Len())
+								next, err := cur.WithoutRule(ri)
+								if err != nil {
+									t.Fatal(err)
+								}
+								dres, err := st.DeleteRuleParts(next, pins, ri, baseIns)
+								if err != nil {
+									t.Fatal(err)
+								}
+								if !dres.Result.Terminated {
+									t.Skip("rule-removal repair truncated")
+								}
+								cur = next
+							case op == 2 && len(factReserve) > 0: // insert facts
+								n := 1 + rng.Intn(3)
+								if n > len(factReserve) {
+									n = len(factReserve)
+								}
+								for _, f := range factReserve[:n] {
+									if err := baseIns.InsertAtom(f); err != nil {
+										t.Fatal(err)
+									}
+								}
+								res, err := st.ExtendParts(cur, pins, factReserve[:n])
+								if err != nil {
+									t.Fatal(err)
+								}
+								if !res.Terminated {
+									t.Skip("fact-extension increment truncated")
+								}
+								factReserve = factReserve[n:]
+							default: // delete facts
+								live := baseIns.Atoms()
+								if len(live) == 0 {
+									continue
+								}
+								victim := live[rng.Intn(len(live))]
+								baseIns.Remove(victim)
+								dres, err := st.DeletePartsCtx(t.Context(), cur, pins, []logic.Atom{victim}, baseIns)
+								if err != nil {
+									t.Fatal(err)
+								}
+								if !dres.Result.Terminated {
+									t.Skip("deletion repair truncated")
+								}
+							}
+						}
+
+						scratch := Run(cur, baseIns, Options{Variant: variant, MaxRounds: 60, MaxSteps: 40000, Parallelism: par})
+						if !scratch.Terminated {
+							t.Skip("scratch chase of the final state truncated")
+						}
+						flat, err := pins.Flatten()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if sf, inf := constFacts(scratch.Instance), constFacts(flat); sf != inf {
+							t.Errorf("null-free facts differ after partitioned mutations:\nscratch:\n%s\nincremental:\n%s", sf, inf)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestChainOntologyFullyLocal proves the locality classifier keeps an entire
+// datagen family coordination-free: every ChainOntology rule rides variable X
+// at column 0 through body and head, so a partitioned chase must ship zero
+// triggers through the exchange while firing everything locally.
+func TestChainOntologyFullyLocal(t *testing.T) {
+	rules := datagen.ChainOntology(6)
+	for _, rule := range rules.Rules {
+		if !LocalRule(rule, 0) {
+			t.Fatalf("chain rule %v must classify as partition-local", rule)
+		}
+	}
+	data := storage.NewInstance()
+	for i := 0; i < 40; i++ {
+		if err := data.InsertAtom(logic.NewAtom("c1", logic.NewConst(fmt.Sprintf("e%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := RunParts(rules, data, Options{Partitions: 4, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated {
+		t.Fatal("chain chase must terminate")
+	}
+	if res.Partition.ShippedTriggers != 0 {
+		t.Errorf("chain family shipped %d triggers; want 0 (fully partition-local)", res.Partition.ShippedTriggers)
+	}
+	if res.Partition.LocalFirings == 0 {
+		t.Error("chain family fired no local triggers")
+	}
+	plain := Run(rules, data, Options{})
+	flat, err := res.Parts.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf, ff := constFacts(plain.Instance), constFacts(flat); pf != ff {
+		t.Errorf("chain facts differ:\nplain:\n%s\nparts:\n%s", pf, ff)
+	}
+}

@@ -29,6 +29,7 @@ type State struct {
 	rounds    int
 	nulls     int
 	replans   int
+	pstats    PartitionStats // cumulative partitioned-driver counters
 	truncated bool
 }
 

@@ -43,6 +43,11 @@ type Flags struct {
 	MaxSteps int
 	// MaxRounds bounds chase fair rounds (0 = engine default).
 	MaxRounds int
+	// Partitions hash-partitions the chase-mode materialization (1 = the
+	// classic single-instance layout). Any value yields the same answers;
+	// partition-local rules fire coordination-free and plans binding the
+	// partitioning column probe one sub-instance.
+	Partitions int
 	// Limit bounds the number of answers streamed (0 = all); registered
 	// separately by BindLimit, only on the commands that answer queries.
 	Limit int
@@ -63,6 +68,7 @@ func Bind(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Join, "join", "auto", "join strategy: auto | nested | hash")
 	fs.IntVar(&f.MaxSteps, "max-steps", 0, "chase trigger-firing budget (0 = default 100000)")
 	fs.IntVar(&f.MaxRounds, "max-rounds", 0, "chase fair-round budget (0 = default 1000)")
+	fs.IntVar(&f.Partitions, "partitions", 1, "hash-partition the chase materialization this many ways (1 = unpartitioned; same answers)")
 	return f
 }
 
@@ -116,6 +122,7 @@ func (f *Flags) Options(mode repro.AnswerMode) (repro.Options, error) {
 		Planner:     pl,
 		Join:        jn,
 		Limit:       f.Limit,
+		Partitions:  f.Partitions,
 	}, nil
 }
 
@@ -135,6 +142,7 @@ func (f *Flags) ChaseOptions() (chase.Options, error) {
 		Parallelism: f.Parallel,
 		Planner:     pl,
 		Join:        jn,
+		Partitions:  f.Partitions,
 	}, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/logic"
 	"repro/internal/query"
@@ -46,6 +47,11 @@ type Options struct {
 	// (JoinDefault resolves to DefaultJoin). Precompiled plans carry their
 	// own strategy.
 	Join JoinStrategy
+	// Pruned, when non-nil, accumulates the partition-pruned probe count of
+	// partitioned evaluations (BindParts runners): join levels that resolved
+	// to exactly one sub-instance instead of all P. Plain-instance
+	// evaluations never touch it.
+	Pruned *atomic.Uint64
 }
 
 // workers returns the effective worker count.

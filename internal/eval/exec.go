@@ -30,6 +30,13 @@ type cursor struct {
 	n       int // candidates to visit
 	pos     int
 	stride  int
+	// start is the first candidate offset (the outer shard origin), kept so
+	// a partitioned cursor can restart the stride in its next partition.
+	start int
+	// part and lastPart bound the sub-instances a partitioned cursor visits:
+	// a pruned level has part == lastPart (exactly one probe), an unpruned
+	// one walks 0..P-1. Unused when the runner is bound to a plain Instance.
+	part, lastPart int
 }
 
 // hashTable is the pooled composite-key table of one hash-probed join level,
@@ -51,6 +58,19 @@ type Runner struct {
 	curs []cursor
 	rels []*storage.Relation
 	tabs []hashTable
+
+	// Partitioned binding (BindParts): the store, the per-atom per-partition
+	// relations, the per-atom partition source (how the level picks its
+	// sub-instance), per-(atom, partition) hash tables, and the count of
+	// probes pruned to a single partition. pins is the discriminator: nil
+	// means the runner is bound to a plain Instance and every partitioned
+	// branch is skipped.
+	pins   *storage.PartitionedInstance
+	prels  [][]*storage.Relation
+	psrc   []partSrc
+	ptabs  [][]hashTable
+	nparts int
+	pruned uint64
 
 	// keyBuf is the reused scratch buffer for composite hash-probe keys.
 	keyBuf []byte
@@ -130,6 +150,7 @@ func (r *Runner) canceled() bool {
 //
 //repro:hotpath
 func (r *Runner) Bind(ins *storage.Instance) bool {
+	r.pins = nil
 	for i := range r.plan.atoms {
 		rel := ins.Relation(r.plan.atoms[i].pred)
 		if rel == nil || rel.Arity() != r.plan.atoms[i].arity {
@@ -234,6 +255,9 @@ func (r *Runner) Next() bool {
 			}
 		}
 		if !matched {
+			if r.pins != nil && r.nextPart(depth) {
+				continue // same level, next partition
+			}
 			depth--
 			if depth < 0 {
 				r.done = true
@@ -282,6 +306,10 @@ func (r *Runner) Run(shard, nshards int, yield func(regs []logic.Term) bool) boo
 //
 //repro:hotpath
 func (r *Runner) initCursor(depth, start, stride int) {
+	if r.pins != nil {
+		r.initCursorPart(depth, start, stride)
+		return
+	}
 	step := &r.plan.atoms[depth]
 	rel := r.rels[depth]
 	cur := &r.curs[depth]

@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// randInstance builds a pseudo-random multi-relation instance with enough
+// rows and value skew to exercise index probes, hash joins and scans.
+func randInstance(t *testing.T, rng *rand.Rand, rows int) *storage.Instance {
+	t.Helper()
+	ins := storage.NewInstance()
+	for i := 0; i < rows; i++ {
+		a := c(fmt.Sprintf("a%d", rng.Intn(rows/4+1)))
+		b := c(fmt.Sprintf("b%d", rng.Intn(rows/8+1)))
+		x := c(fmt.Sprintf("x%d", rng.Intn(rows/2+1)))
+		if err := ins.InsertAtom(at("r", a, b)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ins.InsertAtom(at("s", b, x, a)); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := ins.InsertAtom(at("u", a)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ins
+}
+
+var partQueries = []struct {
+	name string
+	q    *query.CQ
+}{
+	{"atomic", query.MustNew(at("q", v("X"), v("Y")), []logic.Atom{at("r", v("X"), v("Y"))})},
+	{"join", query.MustNew(at("q", v("X"), v("Z")),
+		[]logic.Atom{at("r", v("X"), v("Y")), at("s", v("Y"), v("Z"), v("X"))})},
+	{"boundconst", query.MustNew(at("q", v("Y")), []logic.Atom{at("r", c("a1"), v("Y"))})},
+	{"repeated", query.MustNew(at("q", v("X")), []logic.Atom{at("s", v("B"), v("X"), v("X")), at("r", v("X"), v("B"))})},
+	{"triangle", query.MustNew(at("q", v("A")),
+		[]logic.Atom{at("u", v("A")), at("r", v("A"), v("B")), at("s", v("B"), v("X"), v("A"))})},
+}
+
+// TestPartitionedEquivalence checks that evaluation over a partitioned
+// store returns exactly the unpartitioned answers for every P, routing
+// column, planner, join strategy and parallelism.
+func TestPartitionedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ins := randInstance(t, rng, 240)
+	for _, tc := range partQueries {
+		want := CQ(tc.q, ins, Options{})
+		for _, p := range []int{1, 2, 4} {
+			for _, col := range []int{0, 1} {
+				pins, err := storage.Partition(ins, p, col)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, pl := range []Planner{PlannerGreedy, PlannerCost} {
+					for _, jn := range []JoinStrategy{JoinNested, JoinHash, JoinAuto} {
+						for _, par := range []int{1, 3} {
+							opts := Options{Planner: pl, Join: jn, Parallelism: par}
+							plans := CompileUCQParts(query.MustNewUCQ(tc.q), pins, pl, jn)
+							got, err := RunPlansPartsCtx(context.Background(), plans, tc.q.Arity(), pins, opts)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !got.Equal(want) {
+								t.Fatalf("%s P=%d col=%d planner=%v join=%v par=%d: got %d answers, want %d\nmissing: %v\nextra: %v",
+									tc.name, p, col, pl, jn, par, got.Len(), want.Len(),
+									want.Minus(got), got.Minus(want))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionPruningCounter checks that a query binding the partitioning
+// column probes exactly one sub-instance and reports it.
+func TestPartitionPruningCounter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ins := randInstance(t, rng, 200)
+	pins, err := storage.Partition(ins, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustNew(at("q", v("Y")), []logic.Atom{at("r", c("a1"), v("Y"))})
+	var pruned atomic.Uint64
+	opts := Options{Pruned: &pruned}
+	plans := CompileUCQParts(query.MustNewUCQ(q), pins, PlannerDefault, JoinDefault)
+	want := CQ(q, ins, Options{})
+	got, err := RunPlansPartsCtx(context.Background(), plans, q.Arity(), pins, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("pruned answers differ: got %v want %v", got, want)
+	}
+	if pruned.Load() == 0 {
+		t.Fatal("bound partitioning column did not prune any probe")
+	}
+
+	// An unbound partitioning column must not count pruned probes on the
+	// atom that leaves it free.
+	pruned.Store(0)
+	qa := query.MustNew(at("q", v("X"), v("Y")), []logic.Atom{at("r", v("X"), v("Y"))})
+	plansA := CompileUCQParts(query.MustNewUCQ(qa), pins, PlannerDefault, JoinDefault)
+	if _, err := RunPlansPartsCtx(context.Background(), plansA, qa.Arity(), pins, Options{Pruned: &pruned}); err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Load() != 0 {
+		t.Fatalf("free partitioning column counted %d pruned probes", pruned.Load())
+	}
+}
+
+// TestStreamParts checks the pull iterator over a partitioned store against
+// the unpartitioned stream order-insensitively.
+func TestStreamParts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ins := randInstance(t, rng, 150)
+	pins, err := storage.Partition(ins, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := partQueries[1].q
+	want := CQ(q, ins, Options{})
+	plans := CompileUCQParts(query.MustNewUCQ(q), pins, PlannerDefault, JoinDefault)
+	s := NewStreamParts(plans, pins, Options{})
+	got := NewAnswers(q.Arity())
+	for {
+		tup, ok, err := s.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got.AddOwned(tup)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("stream answers differ: got %d want %d", got.Len(), want.Len())
+	}
+}

@@ -60,6 +60,9 @@ func EachDelta(plans []*Plan, ins *storage.Instance, delta map[string][]storage.
 type Stream struct {
 	plans []*Plan
 	ins   *storage.Instance
+	// pins, when non-nil, evaluates over the partitioned store instead of
+	// ins (NewStreamParts) with partition-pruned access paths.
+	pins  *storage.PartitionedInstance
 	opts  Options
 	pi    int
 	r     *Runner
@@ -73,6 +76,12 @@ type Stream struct {
 // order Each produces.
 func NewStream(plans []*Plan, ins *storage.Instance, opts Options) *Stream {
 	return &Stream{plans: plans, ins: ins, opts: opts, seen: make(map[string]bool)}
+}
+
+// NewStreamParts builds a stream evaluating over a partitioned store — the
+// pull counterpart of EachParts, same deterministic order for any P.
+func NewStreamParts(plans []*Plan, pins *storage.PartitionedInstance, opts Options) *Stream {
+	return &Stream{plans: plans, pins: pins, opts: opts, seen: make(map[string]bool)}
 }
 
 // Next returns the next distinct answer, or ok=false when the stream is
@@ -90,7 +99,13 @@ func (s *Stream) Next(ctx context.Context) (storage.Tuple, bool, error) {
 		plan := s.plans[s.pi]
 		if s.r == nil {
 			r := plan.NewRunner()
-			if !r.Bind(s.ins) {
+			bound := false
+			if s.pins != nil {
+				bound = r.BindParts(s.pins)
+			} else {
+				bound = r.Bind(s.ins)
+			}
+			if !bound {
 				s.pi++
 				continue
 			}
@@ -118,6 +133,7 @@ func (s *Stream) Next(ctx context.Context) (storage.Tuple, bool, error) {
 			}
 			return t, true, nil
 		}
+		flushPruned(s.r, s.opts)
 		if err := s.r.Err(); err != nil {
 			return nil, false, err
 		}

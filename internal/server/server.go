@@ -299,6 +299,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t *tenant) 
 		"fullRebuilds": m.FullRebuilds,
 		// Answer-view cache counters for this tenant's ontology.
 		"answerCache": m.AnswerCache,
+		// Partition layout and locality counters of the cached expansion:
+		// local firings vs. triggers shipped through the exchange, plus
+		// probes the partition-pruned plans confined to one sub-instance.
+		"partitions": m.Partitions,
+		"partition":  m.Partition,
 		// Pace-car streaming and admission counters; server-wide, not
 		// per-tenant — flights and the semaphore are shared.
 		"streamFlights": map[string]any{
@@ -324,6 +329,10 @@ type queryRequest struct {
 	// Limit bounds the distinct answers produced (0 = all); the ?limit=
 	// query parameter overrides it.
 	Limit int `json:"limit,omitempty"`
+	// Partitions hash-partitions the chase-mode materialization this many
+	// ways (same answers; see repro.Options.Partitions). 0 falls back to
+	// the server default.
+	Partitions int `json:"partitions,omitempty"`
 	// Stream switches the response to NDJSON: one JSON array per answer,
 	// flushed as produced, then a trailing object with the count. The
 	// Accept: application/x-ndjson header has the same effect.
@@ -377,6 +386,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, t *tenant) 
 	}
 	if req.Limit > 0 {
 		opts.Limit = req.Limit
+	}
+	if req.Partitions > 0 {
+		opts.Partitions = req.Partitions
 	}
 	if req.NoCache {
 		opts.NoCache = true

@@ -371,6 +371,23 @@ func MustFromAtoms(atoms []logic.Atom) *Instance {
 // Relation returns the relation for pred, or nil if absent.
 func (ins *Instance) Relation(pred string) *Relation { return ins.rels[pred] }
 
+// EnsureRelation returns the relation for pred, creating it empty when
+// absent; an existing relation with a different arity is an error. Mutating:
+// single-writer, like Insert.
+func (ins *Instance) EnsureRelation(pred string, arity int) (*Relation, error) {
+	rel, ok := ins.rels[pred]
+	if !ok {
+		rel = NewRelation(pred, arity)
+		ins.rels[pred] = rel
+		return rel, nil
+	}
+	if rel.Arity() != arity {
+		return nil, fmt.Errorf("storage: predicate %s used with arity %d and %d",
+			pred, rel.Arity(), arity)
+	}
+	return rel, nil
+}
+
 // InsertAtom adds a ground atom as a tuple, creating the relation on first
 // use; reports an arity conflict as an error. Returns nil even when the
 // tuple was already present (idempotent).

@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/eval"
@@ -14,10 +15,20 @@ import (
 // every evaluation without an explicit Options.Planner/Options.Join
 // inherits. `CACHE=on` likewise flips the answer-view cache on for every
 // ontology the suite constructs, so the repeated-query benchmarks measure
-// the cached path without touching their call sites. `make bench-compare`
-// runs the suite once per strategy along either axis and benchstats the
-// runs against each other.
+// the cached path without touching their call sites. `PART=4` flips the
+// package default partition count the same way, so the whole suite runs
+// over hash-partitioned materializations. `make bench-compare` runs the
+// suite once per strategy along each axis and benchstats the runs against
+// each other.
 func TestMain(m *testing.M) {
+	if s := os.Getenv("PART"); s != "" {
+		p, err := strconv.Atoi(s)
+		if err != nil || p < 1 {
+			fmt.Fprintf(os.Stderr, "bad PART %q (want a positive partition count)\n", s)
+			os.Exit(2)
+		}
+		defaultPartitions = p
+	}
 	switch s := os.Getenv("CACHE"); s {
 	case "", "off":
 	case "on":

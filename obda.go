@@ -127,6 +127,12 @@ type Ontology struct {
 	// Surfaced through MaterializationStats so the formerly silent rebuild
 	// penalty is observable.
 	fullRebuilds atomic.Uint64
+	// prunedProbes counts evaluation-side partition pruning: join probes
+	// that a plan over a partitioned materialization confined to a single
+	// sub-instance because the partitioning column was bound. Accumulated
+	// live by every partitioned Answer* call (eval.Options.Pruned sink) and
+	// surfaced through MaterializationStats.Partition.
+	prunedProbes atomic.Uint64
 
 	// planEpoch counts snapshot publications (materializations and base
 	// snapshots alike); the compiled-plan cache generation is keyed to it
@@ -203,7 +209,11 @@ type planCache struct {
 }
 
 type cachedPlans struct {
+	// ins pins an unpartitioned snapshot, pins a partitioned one; exactly
+	// one is set, and an entry only serves a caller evaluating the identical
+	// snapshot pointer.
 	ins   *storage.Instance
+	pins  *storage.PartitionedInstance
 	plans []*eval.Plan
 }
 
@@ -283,6 +293,38 @@ func (o *Ontology) compiledPlans(u *query.UCQ, ins *storage.Instance, planner ev
 	return plans
 }
 
+// compiledPlansParts is compiledPlans over a partitioned snapshot: entries
+// pin the exact PartitionedInstance pointer and the key carries the
+// partition count, so plans compiled for different partition layouts never
+// thrash one cache slot. Pruning plans bind per evaluation (BindParts), so
+// the cached plan itself is layout-independent — the pinning guards only
+// the frozen statistics, exactly as for unpartitioned entries.
+func (o *Ontology) compiledPlansParts(u *query.UCQ, pins *storage.PartitionedInstance, planner eval.Planner, join eval.JoinStrategy) []*eval.Plan {
+	epoch := o.planEpoch.Load()
+	repoch := o.rulesEpoch.Load()
+	pc := o.planCache.Load()
+	if pc == nil || pc.epoch != epoch || pc.rulesEpoch != repoch {
+		fresh := &planCache{epoch: epoch, rulesEpoch: repoch, m: make(map[string]*cachedPlans)}
+		if o.planCache.CompareAndSwap(pc, fresh) {
+			pc = fresh
+		} else {
+			pc = o.planCache.Load()
+		}
+	}
+	key := fmt.Sprintf("P%d|", pins.NumParts()) + planKey(u, planner, join)
+	pc.mu.RLock()
+	e := pc.m[key]
+	pc.mu.RUnlock()
+	if e != nil && e.pins == pins {
+		return e.plans
+	}
+	plans := eval.CompileUCQParts(u, pins, planner, join)
+	pc.mu.Lock()
+	pc.m[key] = &cachedPlans{pins: pins, plans: plans}
+	pc.mu.Unlock()
+	return plans
+}
+
 // planKey builds the cache key: the resolved planner and join strategies
 // plus the canonical (renaming- and body-order-invariant) form of every
 // disjunct.
@@ -303,7 +345,14 @@ func planKey(u *query.UCQ, planner eval.Planner, join eval.JoinStrategy) string 
 // counter fields are immutable once published; state is only ever touched by
 // writers serialized under Ontology.wmu.
 type materialization struct {
-	ins   *storage.Instance
+	// ins is the expansion as one instance; nil for a partitioned build,
+	// which publishes pins instead (Options.Partitions > 1).
+	ins *storage.Instance
+	// pins is the hash-partitioned expansion; nil for the classic layout.
+	pins *storage.PartitionedInstance
+	// parts is the partition count the expansion was built with (1 =
+	// unpartitioned); a request for a different layout rebuilds.
+	parts int
 	state *chase.State
 	// terminated mirrors the last increment's fixpoint flag; a truncated
 	// cache is only served to callers whose budgets cannot do better.
@@ -321,6 +370,9 @@ type materialization struct {
 	// provDerivs/provDead/compactions freeze the provenance-graph size, its
 	// dead (compactable) portion and the completed sweep count.
 	provDerivs, provDead, compactions int
+	// pstats freezes the partitioned driver's cumulative locality counters
+	// (all zero for unpartitioned builds).
+	pstats chase.PartitionStats
 }
 
 // baseSnapshot is the published immutable view of the base data serving
@@ -332,12 +384,20 @@ type baseSnapshot struct {
 
 // usable reports whether the published cache can serve a request with the
 // given (defaulted) budgets against the current base data: the data must not
-// have been mutated since the cache last saw it, and a truncated cache only
-// serves requests whose budgets are no larger than the ones it was built
-// with (a larger budget could derive more). A terminated fixpoint serves any
-// budget.
+// have been mutated since the cache last saw it, the partition layout must
+// match the request's (answers are identical either way, but the evaluation
+// paths and plan shapes differ), and a truncated cache only serves requests
+// whose budgets are no larger than the ones it was built with (a larger
+// budget could derive more). A terminated fixpoint serves any budget.
 func (m *materialization) usable(copts chase.Options, dataMut uint64) bool {
 	if m.baseMut != dataMut {
+		return false
+	}
+	want := copts.Partitions
+	if want < 1 {
+		want = 1
+	}
+	if m.parts != want {
 		return false
 	}
 	if m.terminated {
@@ -596,7 +656,7 @@ func (o *Ontology) mutate(ctx context.Context, mut mutation) (mutationResult, er
 	}
 	switch {
 	case w.touched:
-		o.publishMat(w.ins, w.state, w.terminated, dataMut, w.steps, w.rounds)
+		o.publishMat(w.ins, w.pins, w.state, w.terminated, dataMut, w.steps, w.rounds)
 	case w.had && !w.live:
 		// Maintenance became impossible (truncated cache, missing
 		// provenance): rebuild lazily, and count the formerly silent full
@@ -627,7 +687,11 @@ func (o *Ontology) dropMat() {
 // before publishing: every apply step threads it, so a multi-part mutation
 // repairs one extension and publishes once.
 type matWork struct {
+	// ins is the copy-on-write extension under repair (classic layout); pins
+	// its partitioned counterpart — exactly one is set when live, mirroring
+	// the published materialization's layout.
 	ins           *storage.Instance
+	pins          *storage.PartitionedInstance
 	state         *chase.State
 	terminated    bool
 	steps, rounds int  // accumulated across this mutation's steps
@@ -676,13 +740,18 @@ func (o *Ontology) beginMatWork() *matWork {
 	if m == nil {
 		return &matWork{}
 	}
-	return &matWork{
-		ins:        m.ins.ExtendClone(),
+	w := &matWork{
 		state:      m.state,
 		terminated: m.terminated,
 		live:       true,
 		had:        true,
 	}
+	if m.pins != nil {
+		w.pins = m.pins.ExtendClone()
+	} else {
+		w.ins = m.ins.ExtendClone()
+	}
+	return w
 }
 
 // drop abandons maintenance: the published materialization is stale and the
@@ -729,7 +798,13 @@ func (o *Ontology) applyRuleDrop(ctx context.Context, w *matWork, afterDrop *dep
 	if !w.repairableWork() {
 		return
 	}
-	dres, err := w.state.DeleteRuleCtx(ctx, afterDrop, w.ins, dropIdx, o.data)
+	var dres *chase.DeleteResult
+	var err error
+	if w.pins != nil {
+		dres, err = w.state.DeleteRulePartsCtx(ctx, afterDrop, w.pins, dropIdx, o.data)
+	} else {
+		dres, err = w.state.DeleteRuleCtx(ctx, afterDrop, w.ins, dropIdx, o.data)
+	}
 	if err != nil {
 		w.drop()
 		return
@@ -748,6 +823,10 @@ func (o *Ontology) applyRuleAdd(ctx context.Context, w *matWork, newRules *depen
 		w.drop() // a truncated cache cannot be extended soundly
 		return
 	}
+	if w.pins != nil {
+		w.record(w.state.ExtendRulesPartsCtx(ctx, newRules, w.pins, firstNew))
+		return
+	}
 	w.record(w.state.ExtendRulesCtx(ctx, newRules, w.ins, firstNew))
 }
 
@@ -757,7 +836,13 @@ func (o *Ontology) applyFactDelete(ctx context.Context, w *matWork, rules *depen
 	if !w.repairableWork() {
 		return
 	}
-	dres, err := w.state.DeleteCtx(ctx, rules, w.ins, removed, o.data)
+	var dres *chase.DeleteResult
+	var err error
+	if w.pins != nil {
+		dres, err = w.state.DeletePartsCtx(ctx, rules, w.pins, removed, o.data)
+	} else {
+		dres, err = w.state.DeleteCtx(ctx, rules, w.ins, removed, o.data)
+	}
 	if err != nil {
 		w.drop() // the base removal stands; the next answer rebuilds
 		return
@@ -775,7 +860,13 @@ func (o *Ontology) applyFactInsert(ctx context.Context, w *matWork, rules *depen
 		w.drop() // a truncated cache cannot be extended soundly
 		return
 	}
-	res, err := w.state.ExtendCtx(ctx, rules, w.ins, added)
+	var res *chase.Result
+	var err error
+	if w.pins != nil {
+		res, err = w.state.ExtendPartsCtx(ctx, rules, w.pins, added)
+	} else {
+		res, err = w.state.ExtendCtx(ctx, rules, w.ins, added)
+	}
 	if err != nil {
 		w.drop()
 		w.err = err
@@ -792,13 +883,28 @@ func (o *Ontology) checkRuleArities(rules *dependency.Set) error {
 	if err != nil {
 		return err
 	}
-	lookup := o.data.Relation
+	stored := func(pred string) int {
+		if rel := o.data.Relation(pred); rel != nil {
+			return rel.Arity()
+		}
+		return -1
+	}
 	if m := o.mat.Load(); m != nil {
-		lookup = m.ins.Relation
+		if m.pins != nil {
+			stored = m.pins.Arity
+		} else {
+			mi := m.ins
+			stored = func(pred string) int {
+				if rel := mi.Relation(pred); rel != nil {
+					return rel.Arity()
+				}
+				return -1
+			}
+		}
 	}
 	for pred, arity := range sig {
-		if rel := lookup(pred); rel != nil && rel.Arity() != arity {
-			return fmt.Errorf("repro: rule uses %s with arity %d, stored relation has %d", pred, arity, rel.Arity())
+		if have := stored(pred); have >= 0 && have != arity {
+			return fmt.Errorf("repro: rule uses %s with arity %d, stored relation has %d", pred, arity, have)
 		}
 	}
 	return nil
@@ -970,12 +1076,19 @@ func (o *Ontology) stageFacts(facts []logic.Atom) ([]logic.Atom, error) {
 	m := o.mat.Load()
 	for _, f := range facts {
 		want := f.Arity()
-		if m != nil {
+		switch {
+		case m != nil && m.pins != nil:
+			if a := m.pins.Arity(f.Pred); a >= 0 {
+				want = a
+			}
+		case m != nil:
 			if rel := m.ins.Relation(f.Pred); rel != nil {
 				want = rel.Arity()
 			}
-		} else if rel := o.data.Relation(f.Pred); rel != nil {
-			want = rel.Arity()
+		default:
+			if rel := o.data.Relation(f.Pred); rel != nil {
+				want = rel.Arity()
+			}
 		}
 		if f.Arity() != want {
 			return nil, fmt.Errorf("repro: predicate %s used with arity %d and %d", f.Pred, want, f.Arity())
@@ -1033,13 +1146,20 @@ func (o *Ontology) updateBaseSnapshot(added, removed []logic.Atom, mut uint64) {
 }
 
 // publishMat freezes the engine counters into an immutable materialization
-// and publishes it, bumping the epoch. Requires o.wmu.
-func (o *Ontology) publishMat(ins *storage.Instance, st *chase.State, terminated bool, baseMut uint64, lastSteps, lastRounds int) {
+// and publishes it, bumping the epoch. Exactly one of ins (classic layout)
+// and pins (hash-partitioned) is non-nil. Requires o.wmu.
+func (o *Ontology) publishMat(ins *storage.Instance, pins *storage.PartitionedInstance, st *chase.State, terminated bool, baseMut uint64, lastSteps, lastRounds int) {
 	o.epoch.Add(1)
 	o.planEpoch.Add(1)
+	parts := 1
+	if pins != nil {
+		parts = pins.NumParts()
+	}
 	derivs, dead, compactions := st.ProvenanceStats()
 	o.mat.Store(&materialization{
 		ins:         ins,
+		pins:        pins,
+		parts:       parts,
 		state:       st,
 		terminated:  terminated,
 		baseMut:     baseMut,
@@ -1051,6 +1171,7 @@ func (o *Ontology) publishMat(ins *storage.Instance, st *chase.State, terminated
 		provDerivs:  derivs,
 		provDead:    dead,
 		compactions: compactions,
+		pstats:      st.PartitionTotals(),
 	})
 }
 
@@ -1231,6 +1352,36 @@ type Options struct {
 	// property tests use it to compare cached against uncached answers on
 	// one ontology.
 	NoCache bool
+	// Partitions hash-partitions the chase-mode materialization into this
+	// many sub-instances routed on the first term position (distribution
+	// milestone 1): rules the classifier proves partition-local fire with
+	// zero cross-partition coordination, and query plans that bind the
+	// partitioning column probe exactly one sub-instance (see
+	// MaterializationStats.Partition for the counters). 0 uses the package
+	// default (unpartitioned unless the bench harness overrides it); 1
+	// forces the classic single-instance layout. Rewrite-mode answering is
+	// unaffected — it evaluates the base data. Any value yields the same
+	// certain answers.
+	Partitions int
+}
+
+// defaultPartitions seeds Options.Partitions when callers leave it zero.
+// The library default is unpartitioned; the benchmark harness flips it
+// (PART env, read by TestMain) to measure the partitioning axis across the
+// existing benchmarks without touching their call sites.
+var defaultPartitions int
+
+// effectiveParts resolves Options.Partitions against the package default,
+// normalized to >= 1.
+func (opts Options) effectiveParts() int {
+	p := opts.Partitions
+	if p == 0 {
+		p = defaultPartitions
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // chaseOptions maps Options onto a (defaulted) chase configuration.
@@ -1241,6 +1392,7 @@ func (opts Options) chaseOptions() chase.Options {
 		Parallelism: opts.Parallelism,
 		Planner:     opts.Planner,
 		Join:        opts.Join,
+		Partitions:  opts.effectiveParts(),
 	}
 	if co.MaxSteps == 0 {
 		co.MaxSteps = chase.DefaultMaxSteps
@@ -1297,11 +1449,23 @@ func (o *Ontology) AnswerCtx(ctx context.Context, querySrc string, opts Options)
 	if view != nil {
 		return view, nil
 	}
-	u, ins, published, err := o.resolveAnswer(ctx, q, opts)
+	u, ins, pins, published, err := o.resolveAnswer(ctx, q, opts)
 	if err != nil {
 		return nil, err
 	}
 	evalOpts := opts.evalOptions()
+	if pins != nil {
+		// Partitioned chase-mode evaluation: plans bind per partition and
+		// prune single-partition probes (counted through the shared sink).
+		evalOpts.Pruned = &o.prunedProbes
+		var plans []*eval.Plan
+		if published {
+			plans = o.compiledPlansParts(u, pins, evalOpts.Planner, evalOpts.Join)
+		} else {
+			plans = eval.CompileUCQParts(u, pins, evalOpts.Planner, evalOpts.Join)
+		}
+		return eval.RunPlansPartsCtx(ctx, plans, u.Arity(), pins, evalOpts)
+	}
 	if !published {
 		// The instance was never published, so no later query can hit a cache
 		// entry pinning it; compile directly instead of polluting the cache.
@@ -1333,11 +1497,21 @@ func (o *Ontology) AnswerEach(ctx context.Context, querySrc string, opts Options
 	if err != nil {
 		return err
 	}
-	u, ins, published, err := o.resolveAnswer(ctx, q, opts)
+	u, ins, pins, published, err := o.resolveAnswer(ctx, q, opts)
 	if err != nil {
 		return err
 	}
 	evalOpts := opts.evalOptions()
+	if pins != nil {
+		evalOpts.Pruned = &o.prunedProbes
+		var plans []*eval.Plan
+		if published {
+			plans = o.compiledPlansParts(u, pins, evalOpts.Planner, evalOpts.Join)
+		} else {
+			plans = eval.CompileUCQParts(u, pins, evalOpts.Planner, evalOpts.Join)
+		}
+		return eval.EachParts(ctx, plans, pins, evalOpts, yield)
+	}
 	var plans []*eval.Plan
 	if published {
 		plans = o.compiledPlans(u, ins, evalOpts.Planner, evalOpts.Join)
@@ -1349,19 +1523,21 @@ func (o *Ontology) AnswerEach(ctx context.Context, querySrc string, opts Options
 
 // resolveAnswer resolves the answering mode and produces the evaluation
 // input shared by the collecting (AnswerCtx) and streaming (AnswerEach)
-// paths: the UCQ to run and the immutable instance to run it over — the
+// paths: the UCQ to run and the immutable snapshot to run it over — the
 // rewriting over the published base snapshot, or the query itself over the
-// (built-on-demand) materialization. The returned flag reports whether the
-// instance is a published snapshot, i.e. safe to key compiled-plan cache
-// entries to.
+// (built-on-demand) materialization. Exactly one of ins and pins is
+// non-nil: pins when chase-mode answering runs over a hash-partitioned
+// materialization (Options.Partitions > 1), ins otherwise. The returned
+// flag reports whether the snapshot is published, i.e. safe to key
+// compiled-plan cache entries to.
 //
 // Resolution never outlives its deadline. The exit check below covers two
 // gaps the in-build polls cannot: ctx polls inside the chase are amortized,
 // so a whole build can complete between them; and a build that saturates
 // every P can starve the context's timer goroutine, leaving ctx.Err() nil
 // long past the deadline — hence the explicit clock comparison.
-func (o *Ontology) resolveAnswer(ctx context.Context, q *query.CQ, opts Options) (*query.UCQ, *storage.Instance, bool, error) {
-	u, ins, published, err := o.resolveAnswerMode(ctx, q, opts)
+func (o *Ontology) resolveAnswer(ctx context.Context, q *query.CQ, opts Options) (*query.UCQ, *storage.Instance, *storage.PartitionedInstance, bool, error) {
+	u, ins, pins, published, err := o.resolveAnswerMode(ctx, q, opts)
 	if err == nil {
 		err = ctx.Err()
 	}
@@ -1371,12 +1547,12 @@ func (o *Ontology) resolveAnswer(ctx context.Context, q *query.CQ, opts Options)
 		}
 	}
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, nil, false, err
 	}
-	return u, ins, published, nil
+	return u, ins, pins, published, nil
 }
 
-func (o *Ontology) resolveAnswerMode(ctx context.Context, q *query.CQ, opts Options) (*query.UCQ, *storage.Instance, bool, error) {
+func (o *Ontology) resolveAnswerMode(ctx context.Context, q *query.CQ, opts Options) (*query.UCQ, *storage.Instance, *storage.PartitionedInstance, bool, error) {
 	mode := opts.Mode
 	auto := mode == ModeAuto
 	if auto {
@@ -1390,7 +1566,7 @@ func (o *Ontology) resolveAnswerMode(ctx context.Context, q *query.CQ, opts Opti
 	case ModeRewrite:
 		rw := o.rewriteCQCtx(ctx, q, opts.MaxRewriteCQs)
 		if rwErr := rw.Stats.Err; rwErr != nil {
-			return nil, nil, false, rwErr // canceled mid-rewriting; not a budget miss
+			return nil, nil, nil, false, rwErr // canceled mid-rewriting; not a budget miss
 		}
 		if !rw.Complete {
 			if auto {
@@ -1399,17 +1575,17 @@ func (o *Ontology) resolveAnswerMode(ctx context.Context, q *query.CQ, opts Opti
 				// instead of surfacing the rewriting error.
 				return o.chaseForAnswer(ctx, q, opts)
 			}
-			return nil, nil, false, fmt.Errorf("repro: rewriting did not reach a fixpoint (budget hit); use ModeChase")
+			return nil, nil, nil, false, fmt.Errorf("repro: rewriting did not reach a fixpoint (budget hit); use ModeChase")
 		}
 		// Evaluate over the published base snapshot with no lock held: a
 		// slow evaluation neither blocks writers nor queues other readers
 		// behind them. Repeated queries rewrite to the same UCQ, so the
 		// compiled plans come from the cache.
-		return rw.UCQ, o.snapshotBase(), true, nil
+		return rw.UCQ, o.snapshotBase(), nil, true, nil
 	case ModeChase:
 		return o.chaseForAnswer(ctx, q, opts)
 	default:
-		return nil, nil, false, fmt.Errorf("repro: unknown answer mode %d", mode)
+		return nil, nil, nil, false, fmt.Errorf("repro: unknown answer mode %d", mode)
 	}
 }
 
@@ -1421,15 +1597,15 @@ func (o *Ontology) resolveAnswerMode(ctx context.Context, q *query.CQ, opts Opti
 // Builds run under wmu (single-flight, serialized with writers — so the base
 // cannot change underneath) and always serve their own result, so a build is
 // never wasted and nothing can starve.
-func (o *Ontology) chaseForAnswer(ctx context.Context, q *query.CQ, opts Options) (*query.UCQ, *storage.Instance, bool, error) {
+func (o *Ontology) chaseForAnswer(ctx context.Context, q *query.CQ, opts Options) (*query.UCQ, *storage.Instance, *storage.PartitionedInstance, bool, error) {
 	copts := opts.chaseOptions()
 	u := query.MustNewUCQ(q)
 
 	if m := o.mat.Load(); m != nil && m.usable(copts, o.data.Mutations()) {
 		if !m.terminated {
-			return nil, nil, false, budgetErr(m.lastSteps)
+			return nil, nil, nil, false, budgetErr(m.lastSteps)
 		}
-		return u, m.ins, true, nil
+		return u, m.ins, m.pins, true, nil
 	}
 
 	o.wmu.Lock()
@@ -1437,9 +1613,9 @@ func (o *Ontology) chaseForAnswer(ctx context.Context, q *query.CQ, opts Options
 		// Built while we queued; evaluate after releasing the lock.
 		o.wmu.Unlock()
 		if !m.terminated {
-			return nil, nil, false, budgetErr(m.lastSteps)
+			return nil, nil, nil, false, budgetErr(m.lastSteps)
 		}
-		return u, m.ins, true, nil
+		return u, m.ins, m.pins, true, nil
 	}
 	o.mu.RLock()
 	ins := o.data.Clone()
@@ -1450,26 +1626,43 @@ func (o *Ontology) chaseForAnswer(ctx context.Context, q *query.CQ, opts Options
 	// current at publication.
 	copts.TrackProvenance = o.wantProv.Load()
 	st := chase.NewState(copts)
-	res := st.ResumeCtx(ctx, o.rules.Load(), ins, ins)
+	var res *chase.Result
+	var pins *storage.PartitionedInstance
+	if copts.Partitions > 1 {
+		var err error
+		pins, err = storage.Partition(ins, copts.Partitions, copts.PartitionCol)
+		if err != nil {
+			o.wmu.Unlock()
+			return nil, nil, nil, false, err
+		}
+		ins = nil // drop the flat clone; the partitions own the tuples now
+		deltas := make([]*storage.Instance, pins.NumParts())
+		for p := range deltas {
+			deltas[p] = pins.Part(p)
+		}
+		res = st.ResumePartsCtx(ctx, o.rules.Load(), pins, deltas)
+	} else {
+		res = st.ResumeCtx(ctx, o.rules.Load(), ins, ins)
+	}
 	if res.Err != nil {
 		// Canceled mid-build: the half-chased clone and its engine state are
 		// simply discarded — nothing was published, every snapshot is as it
 		// was before the call.
 		o.wmu.Unlock()
-		return nil, nil, false, res.Err
+		return nil, nil, nil, false, res.Err
 	}
 	// Publish unless the data was mutated out-of-band while we chased (a
 	// legitimate writer cannot have: we hold wmu). Either way, serve our own
 	// build — it is a valid chase of the data as of the clone.
 	published := o.data.Mutations() == snapMut
 	if published {
-		o.publishMat(ins, st, res.Terminated, snapMut, res.Steps, res.Rounds)
+		o.publishMat(ins, pins, st, res.Terminated, snapMut, res.Steps, res.Rounds)
 	}
 	o.wmu.Unlock()
 	if !res.Terminated {
-		return nil, nil, false, budgetErr(res.Steps)
+		return nil, nil, nil, false, budgetErr(res.Steps)
 	}
-	return u, ins, published, nil
+	return u, ins, pins, published, nil
 }
 
 func budgetErr(steps int) error {
@@ -1511,6 +1704,28 @@ type MaterializationStats struct {
 	// AnswerCache counts shared answer-view cache activity (hits, misses,
 	// evictions, views delta-maintained across inserts, live entry bytes).
 	AnswerCache AnswerCacheStats
+	// Partitions is the partition count of the cached expansion (1 =
+	// classic single-instance layout, 0 when nothing is cached).
+	Partitions int
+	// Partition aggregates the partitioned engine's locality counters.
+	Partition PartitionStats
+}
+
+// PartitionStats surfaces how much of a hash-partitioned ontology's work
+// stayed inside single partitions (see Options.Partitions).
+type PartitionStats struct {
+	// LocalFirings counts chase trigger firings of partition-local rules —
+	// work done entirely inside one sub-instance, with zero cross-partition
+	// coordination. Frozen at publish time, cumulative across the initial
+	// build and every incremental extension or repair.
+	LocalFirings uint64
+	// ShippedTriggers counts spanning-rule triggers shipped through the
+	// chase's cross-partition exchange queue (0 on a fully local rule set).
+	ShippedTriggers uint64
+	// PrunedProbes counts join probes confined to a single partition: the
+	// chase's cross-partition runners at publish time, plus query plans that
+	// bound the partitioning column during answering (accumulated live).
+	PrunedProbes uint64
 }
 
 // MaterializationStats reports the state of the published materialization.
@@ -1524,13 +1739,20 @@ func (o *Ontology) MaterializationStats() MaterializationStats {
 			Epoch:        o.epoch.Load(),
 			FullRebuilds: o.fullRebuilds.Load(),
 			AnswerCache:  o.AnswerCacheStats(),
+			Partition:    PartitionStats{PrunedProbes: o.prunedProbes.Load()},
 		}
+	}
+	facts := 0
+	if m.pins != nil {
+		facts = m.pins.Size()
+	} else {
+		facts = m.ins.Size()
 	}
 	return MaterializationStats{
 		Cached:              true,
 		Epoch:               o.epoch.Load(),
 		Terminated:          m.terminated,
-		Facts:               m.ins.Size(),
+		Facts:               facts,
 		Steps:               m.steps,
 		Rounds:              m.rounds,
 		NullsCreated:        m.nulls,
@@ -1541,6 +1763,12 @@ func (o *Ontology) MaterializationStats() MaterializationStats {
 		Compactions:         m.compactions,
 		FullRebuilds:        o.fullRebuilds.Load(),
 		AnswerCache:         o.AnswerCacheStats(),
+		Partitions:          m.parts,
+		Partition: PartitionStats{
+			LocalFirings:    m.pstats.LocalFirings,
+			ShippedTriggers: m.pstats.ShippedTriggers,
+			PrunedProbes:    m.pstats.PrunedProbes + o.prunedProbes.Load(),
+		},
 	}
 }
 
@@ -1568,5 +1796,18 @@ func (o *Ontology) ChaseCtx(ctx context.Context, opts Options) *chase.Result {
 	o.mu.RLock()
 	data := o.data.Clone()
 	o.mu.RUnlock()
-	return chase.NewState(opts.chaseOptions()).ResumeCtx(ctx, o.rules.Load(), data, data)
+	copts := opts.chaseOptions()
+	if copts.Partitions > 1 {
+		res, err := chase.RunPartsCtx(ctx, o.rules.Load(), data, copts)
+		if err != nil {
+			return &chase.Result{Err: err}
+		}
+		// Callers of Chase expect one instance; flatten the partitions into
+		// Result.Instance while keeping Parts populated for inspection.
+		if flat, ferr := res.Parts.Flatten(); ferr == nil {
+			res.Instance = flat
+		}
+		return res
+	}
+	return chase.NewState(copts).ResumeCtx(ctx, o.rules.Load(), data, data)
 }

@@ -114,10 +114,20 @@ func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, e
 	}
 	// Serve the chase side from the published materialization when it
 	// already holds a fresh fixpoint: exact under any budget, no re-chase
-	// needed, no lock held.
+	// needed, no lock held. A partitioned materialization (m.ins == nil)
+	// serves through the partition-pruned evaluation path instead.
 	if m := o.mat.Load(); m != nil && m.terminated && m.baseMut == o.data.Mutations() {
+		u := query.MustNewUCQ(q)
+		var ans *eval.Answers
+		if m.pins != nil {
+			evalOpts := eval.Options{FilterNulls: true, Pruned: &o.prunedProbes}
+			plans := o.compiledPlansParts(u, m.pins, evalOpts.Planner, evalOpts.Join)
+			ans, _ = eval.RunPlansPartsCtx(context.Background(), plans, u.Arity(), m.pins, evalOpts)
+		} else {
+			ans = o.evalUCQ(u, m.ins, eval.Options{FilterNulls: true})
+		}
 		return &Approx{
-			Answers:         o.evalUCQ(query.MustNewUCQ(q), m.ins, eval.Options{FilterNulls: true}),
+			Answers:         ans,
 			Exact:           true,
 			ChaseTerminated: true,
 		}, nil
@@ -165,7 +175,7 @@ func (o *Ontology) AnswerApprox(querySrc string, opts ApproxOptions) (*Approx, e
 		o.wmu.Lock()
 		if o.data.Mutations() == snapMut && o.rules.Load() == rules {
 			if cur := o.mat.Load(); cur == nil || !cur.terminated || cur.baseMut != snapMut {
-				o.publishMat(ch.Instance, st, true, snapMut, ch.Steps, ch.Rounds)
+				o.publishMat(ch.Instance, nil, st, true, snapMut, ch.Steps, ch.Rounds)
 			}
 		}
 		o.wmu.Unlock()
